@@ -1,0 +1,58 @@
+// Scheduling dynamics: reproduces the Figure 9 study. ATAX runs a
+// memory-intensive phase followed by a compute-intensive phase inside
+// one kernel; a static scheduler (Best-SWL) keeps its profiled warp
+// limit through both phases, while CCWS and CIAO-T adapt. The program
+// prints per-interval IPC and active-warp traces for the three
+// schedulers so the phase change is visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scheds := []string{"Best-SWL", "CCWS", "CIAO-T"}
+	res, err := harness.RunTimeSeries("ATAX", scheds, harness.Options{SampleInterval: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ATAX over time (per-interval IPC / active warps)")
+	fmt.Printf("%-10s", "cycle")
+	for _, s := range scheds {
+		fmt.Printf(" | %-16s", s)
+	}
+	fmt.Println()
+
+	// Align samples across schedulers by index; runs differ in length,
+	// so print until the shortest ends.
+	n := res.Series[scheds[0]].Len()
+	for _, s := range scheds[1:] {
+		if l := res.Series[s].Len(); l < n {
+			n = l
+		}
+	}
+	step := n / 24
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		s0 := res.Series[scheds[0]].Samples[i]
+		fmt.Printf("%-10d", s0.Cycle)
+		for _, s := range scheds {
+			sam := res.Series[s].Samples[i]
+			fmt.Printf(" | ipc %.2f aw %4d", sam.IPC, sam.ActiveWarps)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nmean IPC:")
+	for _, s := range scheds {
+		fmt.Printf("  %-9s %.3f\n", s, res.Series[s].MeanIPC())
+	}
+	fmt.Println("\nNote the second (compute) phase: adaptive schedulers re-activate")
+	fmt.Println("warps and recover full TLP; Best-SWL stays at its static limit.")
+}

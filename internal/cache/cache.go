@@ -1,0 +1,283 @@
+// Package cache models the set-associative caches of the simulated
+// GPU: the 16KB 4-way L1D and the 768KB 8-way L2 of Table I, with LRU
+// replacement, XOR-based set-index hashing, per-line warp-ID ownership
+// tags (needed by the interference machinery) and the Victim Tag Array
+// of CCWS/CIAO.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// WritePolicy selects the allocation/propagation behaviour on writes.
+type WritePolicy uint8
+
+// Write policies from Table I.
+const (
+	// WriteThroughNoAllocate: global writes at L1D go straight through
+	// without allocating a line.
+	WriteThroughNoAllocate WritePolicy = iota
+	// WriteBackAllocate: L2 behaviour — allocate on write miss, write
+	// dirty lines back on eviction.
+	WriteBackAllocate
+)
+
+// Config shapes a cache.
+type Config struct {
+	// Name is used in diagnostics and stats.
+	Name string
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// Write selects the write policy.
+	Write WritePolicy
+	// UseXORHash selects XOR set-index hashing (the paper's baseline
+	// enhancement) instead of modulo indexing.
+	UseXORHash bool
+	// HitLatency is the access latency in cycles (Table I: 1 for L1D).
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() int {
+	return c.SizeBytes / (memory.LineSize * c.Ways)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	sets := c.Sets()
+	if sets == 0 || sets*c.Ways*memory.LineSize != c.SizeBytes {
+		return fmt.Errorf("cache %q: size %dB not divisible into %d-way 128B sets", c.Name, c.SizeBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// line is one cache line's tag state.
+type line struct {
+	valid   bool
+	dirty   bool
+	addr    memory.Addr // line address
+	ownerW  int         // WID of the warp that filled the line
+	lastUse uint64      // cycle of last touch, for LRU
+}
+
+// Eviction records a replaced line: the victim's address and the warp
+// that owned it, plus the warp whose fill evicted it. This is exactly
+// the (address, evictor WID) pair CIAO feeds into the owner's VTA set.
+type Eviction struct {
+	Line     memory.Addr
+	OwnerWID int
+	Evictor  int
+	Dirty    bool
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	WriteHits   uint64
+	WriteMiss   uint64
+	Fills       uint64
+	Invalidates uint64
+}
+
+// HitRate returns Hits/Accesses (0 for no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with LRU replacement.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	cfg   Config
+	index memory.SetIndexer
+	sets  [][]line
+	stats Stats
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (a
+// programming error in experiment setup, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	var idx memory.SetIndexer
+	if cfg.UseXORHash {
+		idx = memory.NewXORIndexer(uint32(nsets))
+	} else {
+		idx = memory.ModuloIndexer{Sets: uint32(nsets)}
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, index: idx, sets: sets}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Probe checks for a hit without modifying replacement state.
+func (c *Cache) Probe(addr memory.Addr) bool {
+	la := addr.LineAddr()
+	set := c.sets[c.index.SetIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a load or store lookup at cycle now for warp wid.
+// On a hit it updates LRU state and returns hit=true. On a miss the
+// caller is expected to allocate an MSHR entry and later call Fill.
+// Store behaviour follows the configured write policy: under
+// write-through-no-allocate a store miss does not allocate and a store
+// hit updates the line in place (and is propagated by the caller).
+func (c *Cache) Access(addr memory.Addr, wid int, now uint64, isWrite bool) (hit bool) {
+	la := addr.LineAddr()
+	set := c.sets[c.index.SetIndex(la)]
+	c.stats.Accesses++
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			set[i].lastUse = now
+			if isWrite {
+				c.stats.WriteHits++
+				if c.cfg.Write == WriteBackAllocate {
+					set[i].dirty = true
+				}
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	if isWrite {
+		c.stats.WriteMiss++
+	}
+	return false
+}
+
+// Fill installs the line for warp wid at cycle now, returning the
+// eviction record when a valid line was displaced. Fill of an
+// already-present line refreshes its owner and LRU state (this happens
+// when two warps' misses to the same line were merged in the MSHR).
+func (c *Cache) Fill(addr memory.Addr, wid int, now uint64) (ev Eviction, evicted bool) {
+	la := addr.LineAddr()
+	si := c.index.SetIndex(la)
+	set := c.sets[si]
+	c.stats.Fills++
+
+	// Already present: refresh.
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			set[i].lastUse = now
+			return Eviction{}, false
+		}
+	}
+	// Free way.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	// LRU victim.
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+		ev = Eviction{
+			Line:     set[victim].addr,
+			OwnerWID: set[victim].ownerW,
+			Evictor:  wid,
+			Dirty:    set[victim].dirty,
+		}
+		evicted = true
+		c.stats.Evictions++
+	}
+	set[victim] = line{valid: true, addr: la, ownerW: wid, lastUse: now}
+	return ev, evicted
+}
+
+// Invalidate removes the line if present, returning whether it was
+// present and dirty. CIAO uses this when migrating a line from L1D to
+// the shared-memory cache (the single-copy coherence rule of §III-B).
+func (c *Cache) Invalidate(addr memory.Addr) (present, dirty bool) {
+	la := addr.LineAddr()
+	set := c.sets[c.index.SetIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			c.stats.Invalidates++
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Owner returns the WID that filled the line, if present.
+func (c *Cache) Owner(addr memory.Addr) (wid int, ok bool) {
+	la := addr.LineAddr()
+	set := c.sets[c.index.SetIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			return set[i].ownerW, true
+		}
+	}
+	return 0, false
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without disturbing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and returns how many were dirty.
+func (c *Cache) Flush() (dirtyLines int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				dirtyLines++
+			}
+			c.sets[si][wi] = line{}
+		}
+	}
+	return dirtyLines
+}
+
+// OccupiedLines reports how many lines are currently valid.
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+// l1Config returns the Table I L1D configuration: 16KB, 4-way, 128B
+// lines → 32 sets.
+func l1Config() Config {
+	return Config{Name: "L1D", SizeBytes: 16 << 10, Ways: 4, Write: WriteThroughNoAllocate, HitLatency: 1}
+}
+
+func TestConfigSets(t *testing.T) {
+	if got := l1Config().Sets(); got != 32 {
+		t.Fatalf("L1D sets = %d, want 32", got)
+	}
+	l2 := Config{Name: "L2", SizeBytes: 768 << 10, Ways: 8}
+	if got := l2.Sets(); got != 768 {
+		t.Fatalf("L2 sets = %d, want 768", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := l1Config()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := Config{Name: "bad", SizeBytes: 1000, Ways: 3}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	// 768KB 8-way yields 768 sets — not a power of two, must be caught.
+	l2 := Config{Name: "L2", SizeBytes: 768 << 10, Ways: 8}
+	if err := l2.Validate(); err == nil {
+		t.Fatal("non-power-of-two set count accepted")
+	}
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := New(l1Config())
+	const wid = 3
+	if c.Access(0x1000, wid, 1, false) {
+		t.Fatal("cold access hit")
+	}
+	if _, ev := c.Fill(0x1000, wid, 2); ev {
+		t.Fatal("fill into empty set evicted")
+	}
+	if !c.Access(0x1000, wid, 3, false) {
+		t.Fatal("access after fill missed")
+	}
+	if !c.Access(0x107f, wid, 4, false) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1080, wid, 5, false) {
+		t.Fatal("adjacent line hit spuriously")
+	}
+}
+
+func TestLRUEvictionRecordsOwnerAndEvictor(t *testing.T) {
+	cfg := l1Config()
+	c := New(cfg)
+	sets := uint64(cfg.Sets())
+	// Fill all 4 ways of set 0 by warp 0..3 (modulo indexing).
+	for w := 0; w < 4; w++ {
+		a := memory.Addr(uint64(w) * sets * memory.LineSize)
+		c.Fill(a, w, uint64(w+1))
+	}
+	// Touch way 0 so way for warp 1 becomes LRU.
+	c.Access(0, 0, 10, false)
+	// Fifth line in the same set must evict warp 1's line.
+	a5 := memory.Addr(4 * sets * memory.LineSize)
+	ev, evicted := c.Fill(a5, 9, 11)
+	if !evicted {
+		t.Fatal("full set fill did not evict")
+	}
+	if ev.OwnerWID != 1 {
+		t.Errorf("evicted owner = %d, want 1 (LRU)", ev.OwnerWID)
+	}
+	if ev.Evictor != 9 {
+		t.Errorf("evictor = %d, want 9", ev.Evictor)
+	}
+	if ev.Line != memory.Addr(1*sets*memory.LineSize) {
+		t.Errorf("evicted line = %s", ev.Line)
+	}
+}
+
+func TestFillExistingLineRefreshes(t *testing.T) {
+	c := New(l1Config())
+	c.Fill(0x40, 1, 1)
+	if _, ev := c.Fill(0x40, 2, 2); ev {
+		t.Fatal("refill of present line evicted")
+	}
+	if c.OccupiedLines() != 1 {
+		t.Fatalf("occupied = %d, want 1", c.OccupiedLines())
+	}
+}
+
+func TestWritePolicies(t *testing.T) {
+	wt := New(l1Config())
+	wt.Fill(0x80, 0, 1)
+	wt.Access(0x80, 0, 2, true) // write hit under write-through
+	_, dirty := wt.Invalidate(0x80)
+	if dirty {
+		t.Error("write-through line marked dirty")
+	}
+
+	wb := New(Config{Name: "wb", SizeBytes: 16 << 10, Ways: 4, Write: WriteBackAllocate})
+	wb.Fill(0x80, 0, 1)
+	wb.Access(0x80, 0, 2, true)
+	_, dirty = wb.Invalidate(0x80)
+	if !dirty {
+		t.Error("write-back write hit did not mark dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(l1Config())
+	c.Fill(0x3000, 5, 1)
+	present, _ := c.Invalidate(0x3000)
+	if !present {
+		t.Fatal("invalidate missed present line")
+	}
+	if c.Probe(0x3000) {
+		t.Fatal("line still present after invalidate")
+	}
+	if present, _ := c.Invalidate(0x3000); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestOwner(t *testing.T) {
+	c := New(l1Config())
+	c.Fill(0x5000, 7, 1)
+	wid, ok := c.Owner(0x5040)
+	if !ok || wid != 7 {
+		t.Fatalf("Owner = (%d,%v), want (7,true)", wid, ok)
+	}
+	if _, ok := c.Owner(0x9000); ok {
+		t.Fatal("Owner reported for absent line")
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := New(l1Config())
+	c.Access(0x0, 0, 1, false) // miss
+	c.Fill(0x0, 0, 2)
+	c.Access(0x0, 0, 3, false) // hit
+	c.Access(0x0, 0, 4, false) // hit
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if hr := s.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Fatalf("hit rate = %f, want 2/3", hr)
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Config{Name: "wb", SizeBytes: 16 << 10, Ways: 4, Write: WriteBackAllocate})
+	c.Fill(0x0, 0, 1)
+	c.Fill(0x80, 0, 1)
+	c.Access(0x0, 0, 2, true) // dirty one line
+	if d := c.Flush(); d != 1 {
+		t.Fatalf("flush dirty count = %d, want 1", d)
+	}
+	if c.OccupiedLines() != 0 {
+		t.Fatal("flush left lines valid")
+	}
+}
+
+// Property: occupancy never exceeds capacity and a filled line is
+// always observable until evicted or invalidated.
+func TestCacheOccupancyInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(l1Config())
+		capacity := l1Config().Sets() * l1Config().Ways
+		for i, a := range addrs {
+			addr := memory.Addr(a) * memory.LineSize
+			if !c.Access(addr, i%48, uint64(i), false) {
+				c.Fill(addr, i%48, uint64(i))
+			}
+			if !c.Probe(addr) {
+				return false // just-filled or hit line must be present
+			}
+			if c.OccupiedLines() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORHashConfigChangesMapping(t *testing.T) {
+	plain := New(l1Config())
+	xcfg := l1Config()
+	xcfg.UseXORHash = true
+	xor := New(xcfg)
+
+	// Power-of-two stride of Sets*LineSize thrashes a single set under
+	// modulo but spreads under XOR: fill 8 such lines with 4 ways and
+	// count how many remain resident.
+	stride := uint64(l1Config().Sets()) * memory.LineSize
+	for i := uint64(0); i < 8; i++ {
+		a := memory.Addr(i * stride)
+		plain.Fill(a, 0, i)
+		xor.Fill(a, 0, i)
+	}
+	if plain.OccupiedLines() != 4 {
+		t.Errorf("modulo-indexed resident lines = %d, want 4 (one set)", plain.OccupiedLines())
+	}
+	if xor.OccupiedLines() <= 4 {
+		t.Errorf("XOR-indexed resident lines = %d, want > 4", xor.OccupiedLines())
+	}
+}

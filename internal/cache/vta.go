@@ -1,0 +1,92 @@
+package cache
+
+import "repro/internal/memory"
+
+// VTA is the Victim Tag Array of CCWS as adapted by CIAO (§II-C,
+// Table I: 8 tags per set, 48 sets — one set per hardware warp slot —
+// FIFO replacement). Each entry stores the evicted line's address and
+// the WID of the warp whose fill performed the eviction, so that a
+// subsequent VTA hit both signals lost locality for the owner warp and
+// names the interfering warp.
+type VTA struct {
+	tagsPerSet int
+	sets       [][]vtaEntry
+	// next is the FIFO insertion cursor per set.
+	next                  []int
+	hits, probes, inserts uint64
+}
+
+type vtaEntry struct {
+	valid   bool
+	line    memory.Addr
+	evictor int
+}
+
+// NewVTA builds a VTA with one set per warp slot.
+func NewVTA(numWarps, tagsPerSet int) *VTA {
+	if numWarps <= 0 || tagsPerSet <= 0 {
+		panic("cache: VTA geometry must be positive")
+	}
+	sets := make([][]vtaEntry, numWarps)
+	backing := make([]vtaEntry, numWarps*tagsPerSet)
+	for i := range sets {
+		sets[i], backing = backing[:tagsPerSet], backing[tagsPerSet:]
+	}
+	return &VTA{tagsPerSet: tagsPerSet, sets: sets, next: make([]int, numWarps)}
+}
+
+// Insert records that ownerWID's line was evicted by evictorWID,
+// displacing the oldest entry of the owner's set (FIFO) if full.
+func (v *VTA) Insert(ownerWID int, line memory.Addr, evictorWID int) {
+	if ownerWID < 0 || ownerWID >= len(v.sets) {
+		return
+	}
+	set := v.sets[ownerWID]
+	cur := v.next[ownerWID]
+	set[cur] = vtaEntry{valid: true, line: line.LineAddr(), evictor: evictorWID}
+	v.next[ownerWID] = (cur + 1) % v.tagsPerSet
+	v.inserts++
+}
+
+// Probe checks whether a miss by warp wid on line was previously
+// evicted (a VTA hit — lost locality). On a hit the entry is consumed
+// and the evicting warp's WID is returned.
+func (v *VTA) Probe(wid int, line memory.Addr) (hit bool, evictorWID int) {
+	if wid < 0 || wid >= len(v.sets) {
+		return false, 0
+	}
+	v.probes++
+	la := line.LineAddr()
+	set := v.sets[wid]
+	for i := range set {
+		if set[i].valid && set[i].line == la {
+			v.hits++
+			ev := set[i].evictor
+			set[i] = vtaEntry{}
+			return true, ev
+		}
+	}
+	return false, 0
+}
+
+// Stats reports cumulative probes, hits and inserts.
+func (v *VTA) Stats() (probes, hits, inserts uint64) {
+	return v.probes, v.hits, v.inserts
+}
+
+// Reset clears the array and statistics.
+func (v *VTA) Reset() {
+	for i := range v.sets {
+		for j := range v.sets[i] {
+			v.sets[i][j] = vtaEntry{}
+		}
+		v.next[i] = 0
+	}
+	v.hits, v.probes, v.inserts = 0, 0, 0
+}
+
+// NumSets reports the number of warp slots tracked.
+func (v *VTA) NumSets() int { return len(v.sets) }
+
+// TagsPerSet reports the per-warp FIFO depth.
+func (v *VTA) TagsPerSet() int { return v.tagsPerSet }

@@ -1,0 +1,85 @@
+package core
+
+import "repro/internal/sm"
+
+// AdaptiveCIAO implements the extension the paper defers to future
+// work (§V-E: "An adaptive scheme can be future work"): instead of a
+// fixed high-cutoff epoch, the epoch length adapts to how fast the
+// interference picture changes. When consecutive high epochs disagree
+// strongly on which warps are severely interfered, the epoch shrinks
+// (faster response); when the picture is stable, it grows (more
+// accurate attribution, less overhead) — the exact trade-off §V-E
+// describes for short vs long epochs.
+type AdaptiveCIAO struct {
+	*CIAO
+
+	// MinEpoch and MaxEpoch bound the adaptation range.
+	MinEpoch, MaxEpoch uint64
+	// prevHot is the previous epoch's severely-interfered warp set.
+	prevHot []bool
+	curHot  []bool
+	// Adaptations counts epoch-length changes, for tests.
+	Adaptations uint64
+}
+
+// NewAdaptive wraps a CIAO controller of the given mode with epoch
+// adaptation in [1000, 50000] instructions — the Figure 11a sweep
+// range.
+func NewAdaptive(mode Mode) *AdaptiveCIAO {
+	return &AdaptiveCIAO{
+		CIAO:     New(mode, DefaultParams()),
+		MinEpoch: 1000,
+		MaxEpoch: 50000,
+	}
+}
+
+// Name implements sm.Controller.
+func (a *AdaptiveCIAO) Name() string { return a.CIAO.Name() + "-adaptive" }
+
+// Attach implements sm.Controller.
+func (a *AdaptiveCIAO) Attach(g *sm.GPU) {
+	a.CIAO.Attach(g)
+	a.prevHot = make([]bool, g.NumWarps())
+	a.curHot = make([]bool, g.NumWarps())
+}
+
+// OnCycle runs the base epoch machinery and, at each high epoch
+// boundary, compares the hot set against the previous epoch's to
+// resize the epoch.
+func (a *AdaptiveCIAO) OnCycle(g *sm.GPU, now uint64) {
+	before := a.lastHigh
+	a.CIAO.OnCycle(g, now)
+	if a.lastHigh == before {
+		return // no high-epoch boundary crossed
+	}
+	// A high epoch just ran: rebuild the hot set from its IRS vector.
+	changed, hot := 0, 0
+	for i := range a.curHot {
+		h := a.highIRS[i] > a.params.HighCutoff
+		a.curHot[i] = h
+		if h {
+			hot++
+		}
+		if h != a.prevHot[i] {
+			changed++
+		}
+	}
+	copy(a.prevHot, a.curHot)
+
+	// Volatile picture → halve the epoch; stable → double it.
+	switch {
+	case changed > hot/2 && changed > 2:
+		if e := a.params.HighEpoch / 2; e >= a.MinEpoch {
+			a.params.HighEpoch = e
+			a.Adaptations++
+		}
+	case changed == 0:
+		if e := a.params.HighEpoch * 2; e <= a.MaxEpoch {
+			a.params.HighEpoch = e
+			a.Adaptations++
+		}
+	}
+}
+
+// HighEpoch exposes the current adapted epoch, for tests.
+func (a *AdaptiveCIAO) HighEpoch() uint64 { return a.params.HighEpoch }

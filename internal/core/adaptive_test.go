@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+func TestAdaptiveName(t *testing.T) {
+	a := core.NewAdaptive(core.ModeC)
+	if a.Name() != "CIAO-C-adaptive" {
+		t.Fatalf("name = %s", a.Name())
+	}
+}
+
+func TestAdaptiveEpochStaysInBounds(t *testing.T) {
+	a := core.NewAdaptive(core.ModeC)
+	cfg := sm.DefaultConfig()
+	cfg.EnableSharedCache = true
+	g := sm.MustGPU(cfg, workload.MustKernel(thrashSpec()), a, nil)
+	g.Run()
+	if e := a.HighEpoch(); e < a.MinEpoch || e > a.MaxEpoch {
+		t.Fatalf("adapted epoch %d outside [%d,%d]", e, a.MinEpoch, a.MaxEpoch)
+	}
+}
+
+func TestAdaptiveAdaptsUnderPhaseChange(t *testing.T) {
+	// ATAX-style phase change flips the hot set; the adaptive variant
+	// should register at least one epoch adjustment.
+	spec := thrashSpec()
+	spec.Phases = []workload.Phase{
+		{Frac: 0.5, APKI: 150, WindowLines: 12, Reuse: 4, WindowPct: 50, IrregularPct: 20, Fanout: 4, HeavyScale: 8},
+		{Frac: 0.5, APKI: 5, WindowLines: 4, Reuse: 8, WindowPct: 60, IrregularPct: 2, Fanout: 1, HeavyScale: 2},
+	}
+	a := core.NewAdaptive(core.ModeC)
+	cfg := sm.DefaultConfig()
+	cfg.EnableSharedCache = true
+	g := sm.MustGPU(cfg, workload.MustKernel(spec), a, nil)
+	r := g.Run()
+	if r.FinishedWarps != spec.NumWarps {
+		t.Fatal("adaptive run did not finish")
+	}
+	if a.Adaptations == 0 {
+		t.Fatal("no epoch adaptations under a phase-changing workload")
+	}
+}
+
+func TestAdaptiveCompletesAndIntervenes(t *testing.T) {
+	a := core.NewAdaptive(core.ModeC)
+	cfg := sm.DefaultConfig()
+	cfg.EnableSharedCache = true
+	g := sm.MustGPU(cfg, workload.MustKernel(thrashSpec()), a, nil)
+	r := g.Run()
+	if r.FinishedWarps != 24 {
+		t.Fatal("did not finish")
+	}
+	if a.Redirections == 0 {
+		t.Fatal("adaptive variant never intervened")
+	}
+}

@@ -1,0 +1,449 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+// Fig8Result carries the Figure 8a data: per-benchmark IPCs normalised
+// to GTO, plus per-class and overall geometric means, and the Figure
+// 8b shared-memory utilisation by class.
+type Fig8Result struct {
+	Benchmarks []string
+	Schedulers []string
+	// Normalized[bench][sched] is IPC normalised to GTO.
+	Normalized map[string]map[string]float64
+	// ClassGeoMean[class][sched] aggregates per class.
+	ClassGeoMean map[workload.Class]map[string]float64
+	// OverallGeoMean[sched] aggregates every benchmark.
+	OverallGeoMean map[string]float64
+	// SharedUtil[class] is the mean CIAO-C shared-cache utilisation
+	// (Figure 8b).
+	SharedUtil map[workload.Class]float64
+	Matrix     *Matrix
+}
+
+// RunFig8 reproduces Figure 8: the seven schedulers over the full
+// 21-benchmark suite.
+func RunFig8(opt Options) (*Fig8Result, error) {
+	specs := workload.Suite()
+	factories := Schedulers()
+	m, err := RunMatrix(specs, factories, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{
+		Schedulers:     nil,
+		Normalized:     map[string]map[string]float64{},
+		ClassGeoMean:   map[workload.Class]map[string]float64{},
+		OverallGeoMean: map[string]float64{},
+		SharedUtil:     map[workload.Class]float64{},
+		Matrix:         m,
+	}
+	for _, f := range factories {
+		out.Schedulers = append(out.Schedulers, f.Name)
+	}
+	perClass := map[workload.Class]map[string][]float64{}
+	overall := map[string][]float64{}
+	utilSum := map[workload.Class]float64{}
+	utilN := map[workload.Class]int{}
+	for _, spec := range specs {
+		out.Benchmarks = append(out.Benchmarks, spec.Name)
+		row := map[string]float64{}
+		for _, f := range factories {
+			n := m.NormalizedIPC(spec.Name, f.Name, "GTO")
+			row[f.Name] = n
+			if perClass[spec.Class] == nil {
+				perClass[spec.Class] = map[string][]float64{}
+			}
+			perClass[spec.Class][f.Name] = append(perClass[spec.Class][f.Name], n)
+			overall[f.Name] = append(overall[f.Name], n)
+		}
+		out.Normalized[spec.Name] = row
+		if r, ok := m.Get(spec.Name, "CIAO-C"); ok {
+			utilSum[spec.Class] += r.SharedUtil
+			utilN[spec.Class]++
+		}
+	}
+	for cls, per := range perClass {
+		out.ClassGeoMean[cls] = map[string]float64{}
+		for s, vals := range per {
+			out.ClassGeoMean[cls][s] = metrics.GeoMean(vals)
+		}
+	}
+	for s, vals := range overall {
+		out.OverallGeoMean[s] = metrics.GeoMean(vals)
+	}
+	for cls, n := range utilN {
+		if n > 0 {
+			out.SharedUtil[cls] = utilSum[cls] / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the Figure 8a rows.
+func (r *Fig8Result) Table() *metrics.Table {
+	t := &metrics.Table{Header: append([]string{"benchmark"}, r.Schedulers...)}
+	for _, b := range r.Benchmarks {
+		row := []string{b}
+		for _, s := range r.Schedulers {
+			row = append(row, fmt.Sprintf("%.2f", r.Normalized[b][s]))
+		}
+		t.AddRow(row...)
+	}
+	for _, cls := range []workload.Class{workload.LWS, workload.SWS, workload.CI} {
+		row := []string{"geomean-" + cls.String()}
+		for _, s := range r.Schedulers {
+			row = append(row, fmt.Sprintf("%.2f", r.ClassGeoMean[cls][s]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean-all"}
+	for _, s := range r.Schedulers {
+		row = append(row, fmt.Sprintf("%.2f", r.OverallGeoMean[s]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig1bResult carries Figure 1b: Backprop IPC, hit rate and active
+// warps under Best-SWL and CCWS, normalised to Best-SWL.
+type Fig1bResult struct {
+	// Per scheduler: IPC, L1 hit rate, mean active warps (each
+	// normalised to the maximum across the two schedulers, as the
+	// figure plots 0..1 bars).
+	IPC, HitRate, ActiveWarps map[string]float64
+}
+
+// RunFig1b reproduces Figure 1b on Backprop.
+func RunFig1b(opt Options) (*Fig1bResult, error) {
+	spec, err := workload.ByName("Backprop")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1bResult{
+		IPC:         map[string]float64{},
+		HitRate:     map[string]float64{},
+		ActiveWarps: map[string]float64{},
+	}
+	for _, name := range []string{"Best-SWL", "CCWS"} {
+		f, err := SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r, g, err := RunOne(spec, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		out.IPC[name] = r.IPC
+		out.HitRate[name] = r.L1.HitRate()
+		mean := 0.0
+		for _, s := range g.TimeSeries().Samples {
+			mean += float64(s.ActiveWarps)
+		}
+		if n := g.TimeSeries().Len(); n > 0 {
+			mean /= float64(n)
+		}
+		out.ActiveWarps[name] = mean
+	}
+	return out, nil
+}
+
+// Fig4Result carries Figure 4: per-warp interference frequency on one
+// benchmark plus min/max frequencies across workloads.
+type Fig4Result struct {
+	// Bench is the focus benchmark (KMN in the paper).
+	Bench string
+	// FocusWarp is the interfered warp examined in Figure 4a.
+	FocusWarp int
+	// PerInterferer[w] is how often warp w interfered with FocusWarp.
+	PerInterferer []uint64
+	// WorkloadMinMax[name] = {min, max} single-pair interference
+	// frequency over warps (Figure 4b).
+	WorkloadMinMax map[string][2]uint64
+}
+
+// RunFig4 reproduces Figure 4 on the memory-intensive suite.
+func RunFig4(opt Options) (*Fig4Result, error) {
+	gto, err := SchedulerByName("GTO")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{Bench: "KMN", WorkloadMinMax: map[string][2]uint64{}}
+	for _, spec := range workload.MemoryIntensive() {
+		_, g, err := RunOne(spec, gto, opt)
+		if err != nil {
+			return nil, err
+		}
+		im := g.Interference()
+		minPer, maxPer := im.MinMaxPerWarp()
+		var lo, hi uint64
+		lo = ^uint64(0)
+		for w := 0; w < im.N(); w++ {
+			if maxPer[w] == 0 {
+				continue
+			}
+			if minPer[w] < lo {
+				lo = minPer[w]
+			}
+			if maxPer[w] > hi {
+				hi = maxPer[w]
+			}
+		}
+		if hi == 0 {
+			lo = 0
+		}
+		out.WorkloadMinMax[spec.Name] = [2]uint64{lo, hi}
+		if spec.Name == out.Bench {
+			top := im.TopInterferedWarps(1)
+			if len(top) > 0 {
+				out.FocusWarp = top[0]
+				out.PerInterferer = make([]uint64, im.N())
+				for j := 0; j < im.N(); j++ {
+					out.PerInterferer[j] = im.At(out.FocusWarp, j)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TimeSeriesSet maps scheduler name → sampled trace for one benchmark
+// (Figures 9 and 10).
+type TimeSeriesSet struct {
+	Bench  string
+	Series map[string]*metrics.TimeSeries
+}
+
+// RunTimeSeries reproduces the Figure 9/10 dynamic traces: the named
+// benchmark under each named scheduler.
+func RunTimeSeries(bench string, schedNames []string, opt Options) (*TimeSeriesSet, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	out := &TimeSeriesSet{Bench: bench, Series: map[string]*metrics.TimeSeries{}}
+	for _, name := range schedNames {
+		f, err := SchedulerByName(name)
+		if err != nil {
+			return nil, err
+		}
+		_, g, err := RunOne(spec, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		ts := *g.TimeSeries()
+		out.Series[name] = &ts
+	}
+	return out, nil
+}
+
+// SensitivityResult maps parameter value → benchmark → IPC normalised
+// to the paper's default value of that parameter (Figure 11).
+type SensitivityResult struct {
+	// Values are the swept parameter values in order.
+	Values []float64
+	// Normalized[value][bench] is IPC / IPC(default).
+	Normalized map[float64]map[string]float64
+}
+
+// RunEpochSensitivity reproduces Figure 11a: CIAO-C IPC across
+// high-cutoff epoch values on the sensitivity benchmark set,
+// normalised to the 5000-instruction default.
+func RunEpochSensitivity(epochs []uint64, opt Options) (*SensitivityResult, error) {
+	return runCIAOSensitivity(opt, floats(epochs), func(c *core.CIAO, v float64) {
+		p := c.Params()
+		p.HighEpoch = uint64(v)
+		*c = *core.New(c.Mode(), p)
+	}, 5000)
+}
+
+// RunCutoffSensitivity reproduces Figure 11b: CIAO-C IPC across
+// high-cutoff thresholds (low-cutoff fixed at half), normalised to the
+// 1% default.
+func RunCutoffSensitivity(cutoffs []float64, opt Options) (*SensitivityResult, error) {
+	return runCIAOSensitivity(opt, cutoffs, func(c *core.CIAO, v float64) {
+		p := c.Params()
+		p.HighCutoff = v
+		p.LowCutoff = v / 2
+		*c = *core.New(c.Mode(), p)
+	}, 0.01)
+}
+
+func floats(vs []uint64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func runCIAOSensitivity(opt Options, values []float64, tune func(*core.CIAO, float64), def float64) (*SensitivityResult, error) {
+	specs := workload.SensitivitySet()
+	out := &SensitivityResult{Values: values, Normalized: map[float64]map[string]float64{}}
+
+	runAt := func(v float64) (map[string]float64, error) {
+		o := opt
+		o.ControllerHook = func(ctrl sm.Controller) {
+			if c, ok := ctrl.(*core.CIAO); ok {
+				tune(c, v)
+			}
+		}
+		f := SchedulerFactory{
+			Name:             "CIAO-C",
+			New:              func() sm.Controller { return core.NewC() },
+			NeedsSharedCache: true,
+		}
+		m, err := RunMatrix(specs, []SchedulerFactory{f}, o)
+		if err != nil {
+			return nil, err
+		}
+		ipcs := map[string]float64{}
+		for _, s := range specs {
+			ipcs[s.Name] = m.IPC(s.Name, "CIAO-C")
+		}
+		return ipcs, nil
+	}
+
+	base, err := runAt(def)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range values {
+		ipcs, err := runAt(v)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		for name, ipc := range ipcs {
+			if base[name] > 0 {
+				row[name] = ipc / base[name]
+			}
+		}
+		out.Normalized[v] = row
+	}
+	return out, nil
+}
+
+// Fig12Result carries the Figure 12 configuration studies.
+type Fig12Result struct {
+	// Normalized[config][bench] is IPC normalised to baseline GTO.
+	Normalized map[string]map[string]float64
+	// GeoMean[config] aggregates across benchmarks.
+	GeoMean map[string]float64
+	Configs []string
+}
+
+// RunFig12a compares GTO, GTO-cap (48KB L1D / 16KB shared), GTO-8way
+// and CIAO-C on the memory-intensive suite.
+func RunFig12a(opt Options) (*Fig12Result, error) {
+	specs := workload.MemoryIntensive()
+	gto := SchedulerFactory{Name: "GTO", New: func() sm.Controller { return sched.NewGTO() }}
+	ciao := SchedulerFactory{Name: "CIAO-C", New: func() sm.Controller { return core.NewC() }, NeedsSharedCache: true}
+	variants := []configVariant{
+		{Name: "GTO", F: gto},
+		{Name: "GTO-cap", F: gto, Hook: func(c *sm.Config) {
+			// Trade shared memory for L1D (Fermi's 48KB L1 mode is
+			// 6-way: 64 power-of-two sets).
+			c.L1.SizeBytes = 48 << 10
+			c.L1.Ways = 6
+			c.SharedMemBytes = 16 << 10
+		}},
+		{Name: "GTO-8way", F: gto, Hook: func(c *sm.Config) { c.L1.Ways = 8 }},
+		{Name: "CIAO-C", F: ciao},
+	}
+	return runConfigStudy(specs, variants, opt)
+}
+
+// RunFig12b compares statPCAL-2X and CIAO-C-2X (doubled DRAM
+// bandwidth), normalised to baseline GTO.
+func RunFig12b(opt Options) (*Fig12Result, error) {
+	specs := workload.MemoryIntensive()
+	double := func(c *sm.Config) { c.L2Config.DRAM.BandwidthMultiplier = 2 }
+	statp := SchedulerFactory{Name: "statPCAL", New: func() sm.Controller { return sched.NewStatPCAL() }}
+	ciao := SchedulerFactory{Name: "CIAO-C", New: func() sm.Controller { return core.NewC() }, NeedsSharedCache: true}
+	gto := SchedulerFactory{Name: "GTO", New: func() sm.Controller { return sched.NewGTO() }}
+	variants := []configVariant{
+		{Name: "GTO", F: gto},
+		{Name: "statPCAL-2X", F: statp, Hook: double},
+		{Name: "CIAO-C-2X", F: ciao, Hook: double},
+	}
+	return runConfigStudy(specs, variants, opt)
+}
+
+type configVariant struct {
+	Name string
+	F    SchedulerFactory
+	Hook func(*sm.Config)
+}
+
+func runConfigStudy(specs []workload.Spec, variants []configVariant, opt Options) (*Fig12Result, error) {
+	out := &Fig12Result{
+		Normalized: map[string]map[string]float64{},
+		GeoMean:    map[string]float64{},
+	}
+	base := map[string]float64{}
+	for _, v := range variants {
+		out.Configs = append(out.Configs, v.Name)
+		o := opt
+		if v.Hook != nil {
+			prev := opt.ConfigHook
+			o.ConfigHook = func(c *sm.Config) {
+				if prev != nil {
+					prev(c)
+				}
+				v.Hook(c)
+			}
+		}
+		m, err := RunMatrix(specs, []SchedulerFactory{v.F}, o)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		var vals []float64
+		for _, s := range specs {
+			ipc := m.IPC(s.Name, v.F.Name)
+			if v.Name == "GTO" {
+				base[s.Name] = ipc
+			}
+			n := 0.0
+			if base[s.Name] > 0 {
+				n = ipc / base[s.Name]
+			}
+			row[s.Name] = n
+			vals = append(vals, n)
+		}
+		out.Normalized[v.Name] = row
+		out.GeoMean[v.Name] = geoMeanOf(vals)
+	}
+	return out, nil
+}
+
+func geoMeanOf(vals []float64) float64 { return metrics.GeoMean(vals) }
+
+// ProfileBestSWL sweeps static warp limits for a benchmark and returns
+// the limit with the highest IPC — the procedure behind Table II's
+// Nwrp column.
+func ProfileBestSWL(spec workload.Spec, limits []int, opt Options) (best int, bestIPC float64, err error) {
+	for _, lim := range limits {
+		lim := lim
+		f := SchedulerFactory{
+			Name: "Best-SWL",
+			New:  func() sm.Controller { return sched.NewBestSWL(lim) },
+		}
+		r, _, e := RunOne(spec, f, opt)
+		if e != nil {
+			return 0, 0, e
+		}
+		if r.IPC > bestIPC {
+			best, bestIPC = lim, r.IPC
+		}
+	}
+	return best, bestIPC, nil
+}

@@ -1,0 +1,196 @@
+// Package harness drives the paper's experiments: it instantiates
+// benchmark × scheduler × configuration cells, runs them in parallel
+// across goroutines (each cell is an independent single-goroutine
+// simulation), and aggregates the rows/series each table and figure of
+// the evaluation reports.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+// SchedulerFactory names a scheduler and builds fresh controller
+// instances (controllers are stateful and single-use).
+type SchedulerFactory struct {
+	// Name is the display name used in tables.
+	Name string
+	// New builds a fresh controller.
+	New func() sm.Controller
+	// NeedsSharedCache enables the CIAO shared-memory cache in the SM
+	// configuration.
+	NeedsSharedCache bool
+}
+
+// Schedulers returns the seven controllers of Figure 8 in paper order:
+// GTO, CCWS, Best-SWL, statPCAL, CIAO-T, CIAO-P, CIAO-C.
+func Schedulers() []SchedulerFactory {
+	return []SchedulerFactory{
+		{Name: "GTO", New: func() sm.Controller { return sched.NewGTO() }},
+		{Name: "CCWS", New: func() sm.Controller { return sched.NewCCWS() }},
+		{Name: "Best-SWL", New: func() sm.Controller { return sched.NewBestSWL(0) }},
+		{Name: "statPCAL", New: func() sm.Controller { return sched.NewStatPCAL() }},
+		{Name: "CIAO-T", New: func() sm.Controller { return core.NewT() }},
+		{Name: "CIAO-P", New: func() sm.Controller { return core.NewP() }, NeedsSharedCache: true},
+		{Name: "CIAO-C", New: func() sm.Controller { return core.NewC() }, NeedsSharedCache: true},
+	}
+}
+
+// SchedulerByName returns the factory with the given name.
+func SchedulerByName(name string) (SchedulerFactory, error) {
+	for _, f := range Schedulers() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return SchedulerFactory{}, fmt.Errorf("harness: unknown scheduler %q", name)
+}
+
+// Options control a run.
+type Options struct {
+	// InstrPerWarp overrides the spec's budget when non-zero.
+	InstrPerWarp uint64
+	// Seed overrides the spec's seed when non-zero.
+	Seed uint64
+	// ConfigHook mutates the SM config before construction (used by
+	// the Figure 11/12 sweeps).
+	ConfigHook func(*sm.Config)
+	// ControllerHook mutates the freshly built controller (used by
+	// the sensitivity sweeps to change CIAO parameters).
+	ControllerHook func(sm.Controller)
+	// SampleInterval overrides time-series sampling (0 keeps default).
+	SampleInterval uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) applySpec(spec workload.Spec) workload.Spec {
+	if o.InstrPerWarp > 0 {
+		spec.InstrPerWarp = o.InstrPerWarp
+	}
+	if o.Seed != 0 {
+		spec.Seed = o.Seed
+	}
+	return spec
+}
+
+func (o Options) buildConfig(f SchedulerFactory) sm.Config {
+	cfg := sm.DefaultConfig()
+	cfg.EnableSharedCache = f.NeedsSharedCache
+	if o.SampleInterval > 0 {
+		cfg.SampleInterval = o.SampleInterval
+	}
+	if o.ConfigHook != nil {
+		o.ConfigHook(&cfg)
+	}
+	return cfg
+}
+
+// RunOne simulates one benchmark under one scheduler and returns the
+// result plus the GPU for post-hoc inspection.
+func RunOne(spec workload.Spec, f SchedulerFactory, opt Options) (sm.Result, *sm.GPU, error) {
+	spec = opt.applySpec(spec)
+	kernel, err := workload.NewKernel(spec)
+	if err != nil {
+		return sm.Result{}, nil, err
+	}
+	ctrl := f.New()
+	if opt.ControllerHook != nil {
+		opt.ControllerHook(ctrl)
+	}
+	g, err := sm.NewGPU(opt.buildConfig(f), kernel, ctrl, nil)
+	if err != nil {
+		return sm.Result{}, nil, err
+	}
+	r := g.Run()
+	r.Scheduler = f.Name
+	return r, g, nil
+}
+
+// Cell identifies one benchmark × scheduler simulation.
+type Cell struct {
+	Bench string
+	Sched string
+}
+
+// Matrix holds the results of a benchmark × scheduler sweep.
+type Matrix struct {
+	Results map[Cell]sm.Result
+}
+
+// Get returns the result for (bench, sched).
+func (m *Matrix) Get(bench, sched string) (sm.Result, bool) {
+	r, ok := m.Results[Cell{bench, sched}]
+	return r, ok
+}
+
+// IPC returns the IPC for (bench, sched), or 0.
+func (m *Matrix) IPC(bench, sched string) float64 {
+	r, ok := m.Get(bench, sched)
+	if !ok {
+		return 0
+	}
+	return r.IPC
+}
+
+// NormalizedIPC returns IPC(bench, sched) / IPC(bench, base).
+func (m *Matrix) NormalizedIPC(bench, sched, base string) float64 {
+	b := m.IPC(bench, base)
+	if b == 0 {
+		return 0
+	}
+	return m.IPC(bench, sched) / b
+}
+
+// RunMatrix sweeps specs × factories in parallel.
+func RunMatrix(specs []workload.Spec, factories []SchedulerFactory, opt Options) (*Matrix, error) {
+	type job struct {
+		spec workload.Spec
+		f    SchedulerFactory
+	}
+	jobs := make([]job, 0, len(specs)*len(factories))
+	for _, s := range specs {
+		for _, f := range factories {
+			jobs = append(jobs, job{s, f})
+		}
+	}
+
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+
+	results := make([]sm.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, _, err := RunOne(j.spec, j.f, opt)
+			results[i], errs[i] = r, err
+		}(i, j)
+	}
+	wg.Wait()
+
+	m := &Matrix{Results: make(map[Cell]sm.Result, len(jobs))}
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", j.spec.Name, j.f.Name, errs[i])
+		}
+		m.Results[Cell{j.spec.Name, j.f.Name}] = results[i]
+	}
+	return m, nil
+}

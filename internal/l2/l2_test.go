@@ -1,0 +1,135 @@
+package l2
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// 768KB / 6 partitions / 8 ways / 128B = 128 sets per slice.
+	cfg := DefaultConfig()
+	per := cfg.TotalBytes / cfg.Partitions / cfg.Ways / memory.LineSize
+	if per != 128 {
+		t.Fatalf("sets per slice = %d, want 128", per)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	l := New(DefaultConfig())
+	done1, level1 := l.Access(0, 0x10000, 0, false)
+	if level1 != memory.HitDRAM {
+		t.Fatalf("cold access level = %v, want DRAM", level1)
+	}
+	if done1 <= uint64(l.Config().Latency) {
+		t.Fatalf("miss done = %d, too fast", done1)
+	}
+	done2, level2 := l.Access(done1, 0x10000, 0, false)
+	if level2 != memory.HitL2 {
+		t.Fatalf("second access level = %v, want L2", level2)
+	}
+	wantDone := done1 + uint64(l.Config().Latency) + uint64(l.Config().ServiceCycles)
+	if done2 != wantDone {
+		t.Fatalf("hit done = %d, want %d", done2, wantDone)
+	}
+}
+
+func TestPartitionInterleaving(t *testing.T) {
+	l := New(DefaultConfig())
+	seen := map[int]bool{}
+	for i := 0; i < l.cfg.Partitions; i++ {
+		a := memory.Addr(i) * memory.LineSize
+		for j, s := range l.slices {
+			if s == l.slice(a) {
+				seen[j] = true
+			}
+		}
+	}
+	if len(seen) != l.cfg.Partitions {
+		t.Fatalf("%d consecutive lines hit %d partitions, want %d",
+			l.cfg.Partitions, len(seen), l.cfg.Partitions)
+	}
+}
+
+func TestWriteAllocateNoFetch(t *testing.T) {
+	l := New(DefaultConfig())
+	// A cold coalesced store installs the full line directly without a
+	// DRAM fetch (fetch-on-write elision), completing at L2 speed.
+	done, level := l.Access(0, 0x4000, 1, true)
+	if level != memory.HitL2 {
+		t.Fatalf("cold write level = %v, want L2 (no fetch)", level)
+	}
+	if reads := l.DRAM().Stats().Reads; reads != 0 {
+		t.Fatalf("cold write fetched %d lines from DRAM", reads)
+	}
+	// Line must now be resident (write-allocate).
+	_, level = l.Access(done, 0x4000, 1, false)
+	if level != memory.HitL2 {
+		t.Fatalf("read after write-allocate = %v, want L2 hit", level)
+	}
+	// The dirty line's eventual eviction performs the write-back.
+	if dirty := l.slice(0x4000).Flush(); dirty != 1 {
+		t.Fatalf("dirty lines after store = %d, want 1", dirty)
+	}
+}
+
+func TestBypassSkipsL2Tags(t *testing.T) {
+	l := New(DefaultConfig())
+	done := l.Bypass(0, 0x8000, false)
+	if done == 0 {
+		t.Fatal("bypass returned zero completion")
+	}
+	if l.Stats().Accesses != 0 {
+		t.Fatal("bypass touched L2 stats")
+	}
+	// The line must NOT be resident after a bypass.
+	_, level := l.Access(done, 0x8000, 0, false)
+	if level != memory.HitDRAM {
+		t.Fatalf("bypassed line resident in L2: %v", level)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	l := New(DefaultConfig())
+	l.Access(0, 0x0, 0, false)
+	d, _ := l.Access(1000, 0x0, 0, false)
+	_ = d
+	s := l.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %f, want 0.5", hr)
+	}
+	l.ResetStats()
+	if l.Stats().Accesses != 0 || l.DRAM().Stats().Reads != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestValidateRejectsBadPartitioning(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Partitions = 7 // 768KB/7 is not an integer
+	if cfg.Validate() == nil {
+		t.Fatal("indivisible partitioning accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Partitions = 0
+	if cfg.Validate() == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestL2MissLatencyExceedsHitLatency(t *testing.T) {
+	l := New(DefaultConfig())
+	missDone, _ := l.Access(0, 0x100000, 0, false)
+	hitDone, _ := l.Access(0, 0x100000, 0, false) // now resident
+	missLat := missDone
+	hitLat := hitDone
+	if hitLat >= missLat {
+		t.Fatalf("hit latency %d not below miss latency %d", hitLat, missLat)
+	}
+}

@@ -1,0 +1,122 @@
+package memory
+
+import "fmt"
+
+// MSHREntry tracks one outstanding line miss and the requests merged
+// into it. CIAO augments each entry with the translated shared-memory
+// address so that a fill returning from L2 can be steered directly
+// into the shared-memory cache (Section IV-B, "Datapath connection").
+type MSHREntry struct {
+	// Line is the missing global line address.
+	Line Addr
+	// Merged are the requests waiting on this line, in arrival order.
+	Merged []Request
+	// SharedAddr, when SharedValid, is the translated shared-memory
+	// address the fill should be written to instead of L1D.
+	SharedAddr uint32
+	// SharedValid reports whether SharedAddr is meaningful.
+	SharedValid bool
+	// ResponsePtr, when ResponseValid, points at a response-queue slot
+	// holding the single data copy migrated out of L1D (the paper's
+	// L1D→shared-memory migration path).
+	ResponsePtr int
+	// ResponseValid reports whether ResponsePtr is meaningful.
+	ResponseValid bool
+}
+
+// MSHR is a miss status holding register file: a bounded table of
+// outstanding line misses with request merging.
+type MSHR struct {
+	capacity      int
+	maxMergedPer  int
+	entries       map[Addr]*MSHREntry
+	stalls        uint64
+	mergeCount    uint64
+	allocations   uint64
+	mergeRejected uint64
+}
+
+// NewMSHR returns an MSHR with the given number of entries and maximum
+// merged requests per entry. Both must be positive.
+func NewMSHR(entries, maxMergedPerEntry int) *MSHR {
+	if entries <= 0 || maxMergedPerEntry <= 0 {
+		panic(fmt.Sprintf("memory: invalid MSHR shape %d×%d", entries, maxMergedPerEntry))
+	}
+	return &MSHR{
+		capacity:     entries,
+		maxMergedPer: maxMergedPerEntry,
+		entries:      make(map[Addr]*MSHREntry, entries),
+	}
+}
+
+// Lookup returns the entry for the line, or nil.
+func (m *MSHR) Lookup(line Addr) *MSHREntry {
+	return m.entries[line.LineAddr()]
+}
+
+// CanAllocate reports whether a new miss for line could be accepted,
+// either by merging or by allocating a fresh entry.
+func (m *MSHR) CanAllocate(line Addr) bool {
+	line = line.LineAddr()
+	if e, ok := m.entries[line]; ok {
+		return len(e.Merged) < m.maxMergedPer
+	}
+	return len(m.entries) < m.capacity
+}
+
+// Allocate records a miss for req's line. It returns the entry and
+// whether the request was merged into an existing miss (true) or
+// allocated a new one (false). Callers must check CanAllocate first;
+// Allocate panics on structural overflow to surface modelling bugs.
+func (m *MSHR) Allocate(req Request) (entry *MSHREntry, merged bool) {
+	line := req.Addr.LineAddr()
+	if e, ok := m.entries[line]; ok {
+		if len(e.Merged) >= m.maxMergedPer {
+			panic("memory: MSHR merge overflow; call CanAllocate first")
+		}
+		e.Merged = append(e.Merged, req)
+		m.mergeCount++
+		return e, true
+	}
+	if len(m.entries) >= m.capacity {
+		panic("memory: MSHR entry overflow; call CanAllocate first")
+	}
+	e := &MSHREntry{Line: line, Merged: []Request{req}}
+	m.entries[line] = e
+	m.allocations++
+	return e, false
+}
+
+// NoteStall records that a request could not be accepted this cycle
+// (structural hazard), for statistics.
+func (m *MSHR) NoteStall() { m.stalls++ }
+
+// Fill completes the miss for line, removes its entry and returns it.
+// Fill returns nil if the line has no outstanding entry.
+func (m *MSHR) Fill(line Addr) *MSHREntry {
+	line = line.LineAddr()
+	e, ok := m.entries[line]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, line)
+	return e
+}
+
+// Outstanding reports the number of live entries.
+func (m *MSHR) Outstanding() int { return len(m.entries) }
+
+// Capacity reports the maximum number of entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Stats reports cumulative allocation, merge and structural-stall
+// counts.
+func (m *MSHR) Stats() (allocations, merges, stalls uint64) {
+	return m.allocations, m.mergeCount, m.stalls
+}
+
+// Reset clears all entries and statistics.
+func (m *MSHR) Reset() {
+	m.entries = make(map[Addr]*MSHREntry, m.capacity)
+	m.stalls, m.mergeCount, m.allocations, m.mergeRejected = 0, 0, 0, 0
+}

@@ -1,0 +1,109 @@
+package memory
+
+// Event is a timestamped item flowing through a latency queue: a
+// request or fill that becomes visible at ReadyCycle.
+type Event struct {
+	Req Request
+	// Line is the affected line address (fills are line-granular).
+	Line Addr
+	// ReadyCycle is the first cycle at which the event may be consumed.
+	ReadyCycle uint64
+	// HitLevel records where the data was found, for fills.
+	HitLevel HitLevel
+	// Payload carries model-specific data (e.g. an MSHR pointer).
+	Payload int
+}
+
+// LatencyQueue is a bounded FIFO whose entries become visible only
+// after their ReadyCycle, modelling a fixed-latency pipe such as the
+// L1↔L2 interconnect or the response queue in Figure 7a.
+type LatencyQueue struct {
+	name     string
+	capacity int
+	items    []Event
+	pushes   uint64
+	fullHits uint64
+}
+
+// NewLatencyQueue returns a queue with the given capacity; capacity <= 0
+// means unbounded.
+func NewLatencyQueue(name string, capacity int) *LatencyQueue {
+	return &LatencyQueue{name: name, capacity: capacity}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *LatencyQueue) Name() string { return q.name }
+
+// Len reports the number of queued events.
+func (q *LatencyQueue) Len() int { return len(q.items) }
+
+// Full reports whether the queue cannot accept another event.
+func (q *LatencyQueue) Full() bool {
+	return q.capacity > 0 && len(q.items) >= q.capacity
+}
+
+// Push enqueues ev; it reports false (and counts a structural stall)
+// when the queue is full.
+func (q *LatencyQueue) Push(ev Event) bool {
+	if q.Full() {
+		q.fullHits++
+		return false
+	}
+	q.items = append(q.items, ev)
+	q.pushes++
+	return true
+}
+
+// PopReady dequeues and returns the oldest event whose ReadyCycle has
+// arrived, or ok=false when none is ready. FIFO order is preserved
+// among ready events.
+func (q *LatencyQueue) PopReady(now uint64) (ev Event, ok bool) {
+	for i, it := range q.items {
+		if it.ReadyCycle <= now {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return it, true
+		}
+	}
+	return Event{}, false
+}
+
+// PeekReady returns (without removing) the oldest ready event.
+func (q *LatencyQueue) PeekReady(now uint64) (ev Event, ok bool) {
+	for _, it := range q.items {
+		if it.ReadyCycle <= now {
+			return it, true
+		}
+	}
+	return Event{}, false
+}
+
+// Remove deletes the i-th event (in internal order). It is used by the
+// CIAO migration path, which plucks a specific response-queue slot.
+func (q *LatencyQueue) Remove(i int) Event {
+	ev := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return ev
+}
+
+// FindLine returns the index of the first queued event whose Line
+// matches, or -1.
+func (q *LatencyQueue) FindLine(line Addr) int {
+	line = line.LineAddr()
+	for i, it := range q.items {
+		if it.Line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats reports cumulative pushes and full-queue rejections.
+func (q *LatencyQueue) Stats() (pushes, fullRejections uint64) {
+	return q.pushes, q.fullHits
+}
+
+// Reset empties the queue and clears statistics.
+func (q *LatencyQueue) Reset() {
+	q.items = q.items[:0]
+	q.pushes, q.fullHits = 0, 0
+}

@@ -1,0 +1,106 @@
+package memory
+
+import "testing"
+
+func TestLatencyQueueVisibility(t *testing.T) {
+	q := NewLatencyQueue("test", 4)
+	q.Push(Event{Line: 0x100, ReadyCycle: 10})
+
+	if _, ok := q.PopReady(9); ok {
+		t.Fatal("event visible before ReadyCycle")
+	}
+	ev, ok := q.PopReady(10)
+	if !ok || ev.Line != 0x100 {
+		t.Fatal("event not visible at ReadyCycle")
+	}
+	if q.Len() != 0 {
+		t.Fatal("pop did not remove event")
+	}
+}
+
+func TestLatencyQueueFIFOAmongReady(t *testing.T) {
+	q := NewLatencyQueue("test", 0)
+	q.Push(Event{Line: 1, ReadyCycle: 5})
+	q.Push(Event{Line: 2, ReadyCycle: 3})
+	q.Push(Event{Line: 3, ReadyCycle: 5})
+
+	// At cycle 5 all are ready; pops must preserve insertion order.
+	want := []Addr{1, 2, 3}
+	for _, w := range want {
+		ev, ok := q.PopReady(5)
+		if !ok || ev.Line != w {
+			t.Fatalf("pop = (%v,%v), want line %d", ev.Line, ok, w)
+		}
+	}
+}
+
+func TestLatencyQueueSkipsNotReady(t *testing.T) {
+	q := NewLatencyQueue("test", 0)
+	q.Push(Event{Line: 1, ReadyCycle: 100})
+	q.Push(Event{Line: 2, ReadyCycle: 3})
+
+	ev, ok := q.PopReady(10)
+	if !ok || ev.Line != 2 {
+		t.Fatalf("expected ready line 2 to bypass unready head, got (%v,%v)", ev.Line, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("unready event should remain queued")
+	}
+}
+
+func TestLatencyQueueCapacity(t *testing.T) {
+	q := NewLatencyQueue("test", 2)
+	if !q.Push(Event{Line: 1}) || !q.Push(Event{Line: 2}) {
+		t.Fatal("pushes below capacity should succeed")
+	}
+	if q.Push(Event{Line: 3}) {
+		t.Fatal("push above capacity should fail")
+	}
+	_, rejections := q.Stats()
+	if rejections != 1 {
+		t.Fatalf("rejections = %d, want 1", rejections)
+	}
+}
+
+func TestLatencyQueueFindAndRemove(t *testing.T) {
+	q := NewLatencyQueue("test", 0)
+	q.Push(Event{Line: 0x100, ReadyCycle: 1})
+	q.Push(Event{Line: 0x200, ReadyCycle: 2})
+
+	i := q.FindLine(0x240) // same line as 0x200
+	if i < 0 {
+		t.Fatal("FindLine failed to locate line")
+	}
+	ev := q.Remove(i)
+	if ev.Line != 0x200 {
+		t.Fatalf("removed line %s, want 0x200", ev.Line)
+	}
+	if q.FindLine(0x200) != -1 {
+		t.Fatal("line still present after Remove")
+	}
+}
+
+func TestLatencyQueuePeekDoesNotRemove(t *testing.T) {
+	q := NewLatencyQueue("test", 0)
+	q.Push(Event{Line: 7, ReadyCycle: 0})
+	if _, ok := q.PeekReady(0); !ok {
+		t.Fatal("peek missed ready event")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek removed the event")
+	}
+}
+
+func TestLatencyQueueReset(t *testing.T) {
+	q := NewLatencyQueue("test", 1)
+	q.Push(Event{Line: 7})
+	q.Push(Event{Line: 8}) // rejected
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset did not empty queue")
+	}
+	pushes, rejections := q.Stats()
+	if pushes != 0 || rejections != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sm"
+)
+
+// CCWS is Cache-Conscious Wavefront Scheduling (Rogers et al., MICRO
+// 2012), the paper's main point of comparison, modelled after its
+// lost-locality scoring system: each warp carries a score that jumps
+// on every one of its VTA hits (it re-referenced data it lost to
+// interference — locality worth protecting) and decays back toward the
+// base otherwise. The scores compete for a fixed point budget of
+// NumWarps × Base: warps are ranked by score and only the prefix whose
+// cumulative score fits the budget may issue. A few warps with strong
+// locality therefore crowd out many others — the very over-throttling
+// on compute-intensive workloads that the CIAO paper criticises.
+type CCWS struct {
+	sm.Base
+	sm.GreedyThenOldest
+
+	// BaseScore is each warp's resting score (one budget share).
+	BaseScore float64
+	// ScoreBump is added to a warp's score on each of its VTA hits.
+	ScoreBump float64
+	// ScoreCap bounds an individual score.
+	ScoreCap float64
+	// Decay multiplies the above-base part of scores each epoch.
+	Decay float64
+	// UpdateEpoch is the throttle-set refresh period in cycles.
+	UpdateEpoch uint64
+
+	scores    []float64
+	lastCheck uint64
+}
+
+// NewCCWS returns a CCWS controller with the default tuning.
+func NewCCWS() *CCWS {
+	return &CCWS{
+		BaseScore:   1,
+		ScoreBump:   2,
+		ScoreCap:    16,
+		Decay:       0.93,
+		UpdateEpoch: 1000,
+	}
+}
+
+// Name implements sm.Controller.
+func (s *CCWS) Name() string { return "CCWS" }
+
+// Attach implements sm.Controller.
+func (s *CCWS) Attach(g *sm.GPU) {
+	s.scores = make([]float64, g.NumWarps())
+	for i := range s.scores {
+		s.scores[i] = s.BaseScore
+	}
+	s.lastCheck = 0
+}
+
+// OnVTAHit raises the interfered warp's lost-locality score.
+func (s *CCWS) OnVTAHit(g *sm.GPU, now uint64, interfered, interferer int, atShared bool) {
+	s.scores[interfered] += s.ScoreBump
+	if s.scores[interfered] > s.ScoreCap {
+		s.scores[interfered] = s.ScoreCap
+	}
+}
+
+// OnCycle refreshes the throttle set each epoch: warps ranked by score
+// descending claim budget greedily; warps that do not fit are stalled.
+func (s *CCWS) OnCycle(g *sm.GPU, now uint64) {
+	if now < s.lastCheck+s.UpdateEpoch {
+		return
+	}
+	s.lastCheck = now
+
+	for i := range s.scores {
+		s.scores[i] = s.BaseScore + (s.scores[i]-s.BaseScore)*s.Decay
+	}
+
+	order := make([]int, 0, g.NumWarps())
+	for i := 0; i < g.NumWarps(); i++ {
+		if !g.Warp(i).Finished {
+			order = append(order, i)
+		}
+	}
+	// Highest locality first; older warps win ties.
+	sort.Slice(order, func(a, b int) bool {
+		if s.scores[order[a]] != s.scores[order[b]] {
+			return s.scores[order[a]] > s.scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	budget := float64(len(order)) * s.BaseScore
+	cum := 0.0
+	activated := 0
+	for _, wid := range order {
+		sc := s.scores[wid]
+		if sc < s.BaseScore {
+			sc = s.BaseScore
+		}
+		cum += sc
+		active := cum <= budget || activated == 0 // always keep one
+		g.Warp(wid).V = active
+		if active {
+			activated++
+		}
+	}
+}
+
+// Pick implements sm.Controller.
+func (s *CCWS) Pick(g *sm.GPU, now uint64) int {
+	return s.PickGTO(g, now, sm.EligibleOrBarrierBoosted(g))
+}
+
+// Score exposes a warp's current lost-locality score, for tests.
+func (s *CCWS) Score(wid int) float64 { return s.scores[wid] }
+
+// ThrottledWarps reports the current stalled count, for tests.
+func (s *CCWS) ThrottledWarps(g *sm.GPU) int {
+	n := 0
+	for i := 0; i < g.NumWarps(); i++ {
+		w := g.Warp(i)
+		if !w.Finished && !w.V {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package sharedmem
+
+// BankConflicts computes the serialisation degree of one warp-wide
+// explicit shared-memory access: the maximum number of distinct
+// addresses that land in the same bank. All 32 banks can serve one
+// access each in parallel (§II-A), so a conflict-free access takes one
+// bank cycle and a degree-k conflict takes k.
+func BankConflicts(byteAddrs []uint32) int {
+	if len(byteAddrs) == 0 {
+		return 0
+	}
+	var perBank [NumBanks]int
+	// Word-interleaved banking: consecutive 8-byte words map to
+	// consecutive banks.
+	seen := make(map[uint32]bool, len(byteAddrs))
+	for _, a := range byteAddrs {
+		word := a / BankRowBytes
+		if seen[word] {
+			continue // broadcast: same word served once
+		}
+		seen[word] = true
+		perBank[word%NumBanks]++
+	}
+	max := 1
+	for _, n := range perBank {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// ConflictModel is a closed-form stand-in used by the synthetic
+// workloads: given a benchmark's characteristic conflict degree, it
+// returns the cycles an explicit shared access occupies the banks.
+type ConflictModel struct {
+	// Degree is the average serialisation (1 = conflict-free).
+	Degree int
+}
+
+// Cycles returns the bank-occupancy cycles for one access.
+func (m ConflictModel) Cycles() int {
+	if m.Degree < 1 {
+		return 1
+	}
+	return m.Degree
+}

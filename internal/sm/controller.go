@@ -1,0 +1,104 @@
+package sm
+
+import "repro/internal/workload"
+
+// MemPath selects where a warp's global accesses are served.
+type MemPath uint8
+
+// Memory paths.
+const (
+	// PathL1 is the conventional L1D path.
+	PathL1 MemPath = iota
+	// PathSharedCache redirects through the CIAO shared-memory cache.
+	PathSharedCache
+	// PathBypass skips L1D and goes straight to L2/DRAM (statPCAL).
+	PathBypass
+)
+
+// Controller is the warp scheduler plus its policy hooks. One
+// controller instance drives one GPU for one run; controllers carry
+// state and must not be shared across concurrent GPUs.
+type Controller interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Attach is called once before simulation with the GPU, letting
+	// the controller size its tables.
+	Attach(g *GPU)
+	// Pick returns the warp to issue at cycle now, or -1 to idle.
+	Pick(g *GPU, now uint64) int
+	// MemPath routes warp wid's next global access.
+	MemPath(g *GPU, wid int) MemPath
+	// OnCycle runs once per cycle before issue (epoch bookkeeping).
+	OnCycle(g *GPU, now uint64)
+	// OnIssue observes a successful issue.
+	OnIssue(g *GPU, now uint64, wid int, kind workload.InstrKind)
+	// OnVTAHit observes a lost-locality event: interfered warp's miss
+	// matched its victim tags; interferer is the recorded evictor.
+	// atShared reports whether the access was on the shared-cache path
+	// (shared-memory interference rather than L1D interference).
+	OnVTAHit(g *GPU, now uint64, interfered, interferer int, atShared bool)
+	// OnWarpFinished observes warp completion.
+	OnWarpFinished(g *GPU, wid int)
+}
+
+// Base is a no-op Controller core for embedding: concrete schedulers
+// override what they need.
+type Base struct{}
+
+// Attach implements Controller.
+func (Base) Attach(*GPU) {}
+
+// MemPath implements Controller.
+func (Base) MemPath(*GPU, int) MemPath { return PathL1 }
+
+// OnCycle implements Controller.
+func (Base) OnCycle(*GPU, uint64) {}
+
+// OnIssue implements Controller.
+func (Base) OnIssue(*GPU, uint64, int, workload.InstrKind) {}
+
+// OnVTAHit implements Controller.
+func (Base) OnVTAHit(*GPU, uint64, int, int, bool) {}
+
+// OnWarpFinished implements Controller.
+func (Base) OnWarpFinished(*GPU, int) {}
+
+// GreedyThenOldest is the GTO issue order shared by most controllers:
+// keep issuing the last warp while it stays ready, otherwise fall back
+// to the oldest (lowest-ID) ready warp. It is embedded by GTO, CCWS,
+// Best-SWL, statPCAL and CIAO, which all "leverage GTO to decide the
+// order of execution of warps" (§V-A).
+type GreedyThenOldest struct {
+	current int
+}
+
+// PickGTO returns the GTO choice among issueable warps for which
+// eligible(w) holds, or -1. The V flag is NOT consulted here — the
+// eligibility predicate owns the throttling decision, which lets
+// schedulers grant a barrier boost to stalled warps whose CTA is
+// blocked (see GPU.CTABarrierPending).
+func (g *GreedyThenOldest) PickGTO(gpu *GPU, now uint64, eligible func(*Warp) bool) int {
+	if g.current >= 0 && g.current < gpu.NumWarps() {
+		w := gpu.Warp(g.current)
+		if w.Issueable(now) && eligible(w) {
+			return g.current
+		}
+	}
+	for i := 0; i < gpu.NumWarps(); i++ {
+		w := gpu.Warp(i)
+		if w.Issueable(now) && eligible(w) {
+			g.current = i
+			return i
+		}
+	}
+	return -1
+}
+
+// EligibleOrBarrierBoosted is the standard eligibility for throttling
+// schedulers: active warps run; stalled warps run only when their CTA
+// has warps waiting at a barrier (which all threads must reach).
+func EligibleOrBarrierBoosted(gpu *GPU) func(*Warp) bool {
+	return func(w *Warp) bool {
+		return w.V || gpu.CTABarrierPending(w.CTA)
+	}
+}

@@ -1,0 +1,666 @@
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/l2"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/sharedmem"
+	"repro/internal/workload"
+)
+
+// Event payload markers for the response queue.
+const (
+	payloadL1 = iota
+	payloadShared
+	payloadBypass
+)
+
+// GPU simulates one SM and its memory hierarchy for one kernel under
+// one scheduling controller.
+type GPU struct {
+	cfg    Config
+	kernel *workload.Kernel
+	ctrl   Controller
+
+	l1    *cache.Cache
+	vta   *cache.VTA
+	l2c   *l2.L2
+	mshr  *memory.MSHR
+	respQ *memory.LatencyQueue
+	smmt  *sharedmem.SMMT
+	shc   *sharedmem.Cache // nil when no unused space / disabled
+
+	warps    []Warp
+	barriers []int // waiting count per CTA
+
+	cycle         uint64
+	instTotal     uint64
+	vtaHitsTotal  uint64
+	finished      int
+	lastIssue     uint64
+	deadlockFrees uint64
+	structStalls  uint64
+
+	imat *metrics.InterferenceMatrix
+	ts   metrics.TimeSeries
+	// sampling deltas
+	sInst, sVTA uint64
+	sL1Acc      uint64
+	sL1Hit      uint64
+}
+
+// NewGPU wires an SM for the kernel under ctrl. A nil sharedL2 builds
+// a private L2 from cfg.L2Config; passing one in lets multi-SM
+// harnesses share it.
+func NewGPU(cfg Config, kernel *workload.Kernel, ctrl Controller, sharedL2 *l2.L2) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec := kernel.Spec()
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = kernel.TotalInstructions() * 64
+	}
+	l2c := sharedL2
+	if l2c == nil {
+		l2c = l2.New(cfg.L2Config)
+	}
+
+	g := &GPU{
+		cfg:    cfg,
+		kernel: kernel,
+		ctrl:   ctrl,
+		l1:     cache.New(cfg.L1),
+		vta:    cache.NewVTA(spec.NumWarps, cfg.VTAEntriesPerWarp),
+		l2c:    l2c,
+		mshr:   memory.NewMSHR(cfg.MSHREntries, cfg.MSHRMergeMax),
+		respQ:  memory.NewLatencyQueue("resp", cfg.ResponseQueueCap),
+		smmt:   sharedmem.NewSMMT(cfg.SharedMemBytes, cfg.SMMTEntries),
+		imat:   metrics.NewInterferenceMatrix(spec.NumWarps),
+	}
+
+	// Kernel shared-memory usage: one SMMT entry per CTA (§II-A).
+	if spec.FsMem > 0 {
+		total := int(spec.FsMem * float64(cfg.SharedMemBytes))
+		per := total / spec.NumCTAs()
+		if per > 0 {
+			for cta := 0; cta < spec.NumCTAs(); cta++ {
+				if _, err := g.smmt.Reserve(cta, per); err != nil {
+					return nil, fmt.Errorf("sm: CTA shared memory: %w", err)
+				}
+			}
+		}
+	}
+	// CIAO reserves the remaining space for its cache (§IV-B).
+	if cfg.EnableSharedCache {
+		base, size := g.smmt.LargestFreeRegion()
+		if tr, err := sharedmem.NewTranslator(base, size); err == nil {
+			if _, err := g.smmt.Reserve(sharedmem.CIAOReservationID, size); err != nil {
+				return nil, fmt.Errorf("sm: CIAO reservation: %w", err)
+			}
+			g.shc = sharedmem.NewCache(tr)
+		}
+	}
+
+	g.warps = make([]Warp, spec.NumWarps)
+	g.barriers = make([]int, spec.NumCTAs())
+	for i := range g.warps {
+		g.warps[i] = Warp{
+			ID:         i,
+			CTA:        i / spec.WarpsPerCTA,
+			V:          true,
+			MaxPending: cfg.MaxOutstandingLines,
+			stream:     kernel.Stream(i),
+		}
+	}
+	ctrl.Attach(g)
+	return g, nil
+}
+
+// MustGPU is NewGPU that panics on error, for tests and examples.
+func MustGPU(cfg Config, kernel *workload.Kernel, ctrl Controller, sharedL2 *l2.L2) *GPU {
+	g, err := NewGPU(cfg, kernel, ctrl, sharedL2)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Accessors used by controllers and the harness.
+
+// NumWarps returns the resident warp count.
+func (g *GPU) NumWarps() int { return len(g.warps) }
+
+// Warp returns warp i's state (mutable: controllers flip V/I).
+func (g *GPU) Warp(i int) *Warp { return &g.warps[i] }
+
+// Cycle returns the current cycle.
+func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// InstTotal returns total issued instructions (Inst-total of Fig. 6).
+func (g *GPU) InstTotal() uint64 { return g.instTotal }
+
+// ActiveWarps counts warps that are neither finished nor stalled.
+func (g *GPU) ActiveWarps() int {
+	n := 0
+	for i := range g.warps {
+		if !g.warps[i].Finished && g.warps[i].V {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveWarps counts unfinished warps.
+func (g *GPU) LiveWarps() int { return len(g.warps) - g.finished }
+
+// CTABarrierPending reports whether any warp of the CTA is waiting at
+// a barrier, which entitles stalled CTA members to a scheduling boost
+// (all threads must reach the barrier for anyone to proceed).
+func (g *GPU) CTABarrierPending(cta int) bool {
+	return cta >= 0 && cta < len(g.barriers) && g.barriers[cta] > 0
+}
+
+// Kernel returns the running kernel.
+func (g *GPU) Kernel() *workload.Kernel { return g.kernel }
+
+// Config returns the SM configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// L1 exposes the L1D cache.
+func (g *GPU) L1() *cache.Cache { return g.l1 }
+
+// VTA exposes the victim tag array.
+func (g *GPU) VTA() *cache.VTA { return g.vta }
+
+// L2 exposes the L2/DRAM subsystem.
+func (g *GPU) L2() *l2.L2 { return g.l2c }
+
+// SharedCache returns the CIAO shared-memory cache, or nil.
+func (g *GPU) SharedCache() *sharedmem.Cache { return g.shc }
+
+// SMMT exposes the shared-memory management table.
+func (g *GPU) SMMT() *sharedmem.SMMT { return g.smmt }
+
+// Interference exposes the inter-warp interference matrix.
+func (g *GPU) Interference() *metrics.InterferenceMatrix { return g.imat }
+
+// TimeSeries returns the sampled trace.
+func (g *GPU) TimeSeries() *metrics.TimeSeries { return &g.ts }
+
+// VTAHitsTotal returns the cumulative lost-locality events.
+func (g *GPU) VTAHitsTotal() uint64 { return g.vtaHitsTotal }
+
+// IRS computes warp i's Individual Re-reference Score per Eq. (1):
+// VTA hits of i divided by instructions-per-active-warp.
+func (g *GPU) IRS(i int) float64 {
+	if g.instTotal == 0 {
+		return 0
+	}
+	active := g.ActiveWarps()
+	if active == 0 {
+		active = 1
+	}
+	return float64(g.warps[i].VTAHits) * float64(active) / float64(g.instTotal)
+}
+
+// Done reports whether every warp finished.
+func (g *GPU) Done() bool { return g.finished == len(g.warps) }
+
+// Run simulates until completion or the cycle cap, returning the final
+// statistics.
+func (g *GPU) Run() Result {
+	for !g.Done() && g.cycle < g.cfg.MaxCycles {
+		g.Step()
+	}
+	return g.Result()
+}
+
+// Step advances one cycle.
+func (g *GPU) Step() {
+	now := g.cycle
+
+	// 1. Retire ready fills.
+	for {
+		ev, ok := g.respQ.PopReady(now)
+		if !ok {
+			break
+		}
+		g.handleFill(ev, now)
+	}
+
+	// 2. Controller epoch work.
+	g.ctrl.OnCycle(g, now)
+
+	// 3. Issue.
+	wid := g.ctrl.Pick(g, now)
+	if wid >= 0 {
+		g.issue(wid, now)
+		g.lastIssue = now
+	} else if g.respQ.Len() == 0 && now-g.lastIssue > g.cfg.DeadlockWindow {
+		// Throttle deadlock: every unfinished warp is stalled (or
+		// barrier-blocked behind a stalled warp) with nothing in
+		// flight. Release the valves.
+		g.freeStalledWarps(now)
+	}
+
+	// 4. Sampling.
+	if g.cfg.SampleInterval > 0 && now > 0 && now%g.cfg.SampleInterval == 0 {
+		g.sample(now)
+	}
+	g.cycle++
+}
+
+// freeStalledWarps force-activates stalled warps after a deadlock
+// window expires.
+func (g *GPU) freeStalledWarps(now uint64) {
+	freed := false
+	for i := range g.warps {
+		if !g.warps[i].Finished && !g.warps[i].V {
+			g.warps[i].V = true
+			freed = true
+		}
+	}
+	if freed {
+		g.deadlockFrees++
+		g.lastIssue = now
+	}
+}
+
+// issue executes warp wid's next instruction at cycle now.
+func (g *GPU) issue(wid int, now uint64) {
+	w := &g.warps[wid]
+	ins, ok := w.next()
+	if !ok {
+		g.finishWarp(wid)
+		return
+	}
+	issued := true
+	switch ins.Kind {
+	case workload.Compute:
+		w.NextReady = now + uint64(g.cfg.DependLatency)
+	case workload.BarrierOp:
+		g.arriveBarrier(wid, now)
+	case workload.SharedOp:
+		// Explicit shared access: bank conflicts serialise the access.
+		lat := uint64(ins.Conflict)
+		if lat == 0 {
+			lat = 1
+		}
+		w.NextReady = now + lat + uint64(g.cfg.DependLatency) - 1
+	case workload.GlobalLoad:
+		issued = g.load(w, ins, now)
+	case workload.GlobalStore:
+		issued = g.store(w, ins, now)
+	}
+	if issued && (ins.Kind == workload.GlobalLoad || ins.Kind == workload.GlobalStore) {
+		// The issue slot and address pipeline are occupied for a full
+		// dependency distance even when fills are still in flight.
+		if floor := now + uint64(g.cfg.DependLatency); w.NextReady < floor {
+			w.NextReady = floor
+		}
+	}
+	if !issued {
+		w.retry(ins)
+		g.structStalls++
+		w.NextReady = now + 1
+		return
+	}
+	w.InstExecuted++
+	w.LastIssued = now
+	g.instTotal++
+	g.ctrl.OnIssue(g, now, wid, ins.Kind)
+	if w.stream.Done() && w.pending == nil {
+		g.finishWarp(wid)
+	}
+}
+
+// probeVTA handles the lost-locality check on a miss.
+func (g *GPU) probeVTA(w *Warp, addr memory.Addr, now uint64, atShared bool) {
+	hit, evictor := g.vta.Probe(w.ID, addr)
+	if !hit {
+		return
+	}
+	w.VTAHits++
+	g.vtaHitsTotal++
+	g.sVTA++
+	g.imat.Record(w.ID, evictor)
+	g.ctrl.OnVTAHit(g, now, w.ID, evictor, atShared)
+}
+
+// load serves a global load of up to MaxFanout coalesced lines;
+// reports false on a structural stall (nothing issued, retried later).
+func (g *GPU) load(w *Warp, ins workload.Instruction, now uint64) bool {
+	path := g.ctrl.MemPath(g, w.ID)
+	if path == PathSharedCache && g.shc == nil {
+		path = PathL1
+	}
+	addrs := ins.AddrSlice()
+	// MLP budget: block until in-flight fills drain enough for the
+	// whole burst.
+	if w.Outstanding+len(addrs) > g.cfg.MaxOutstandingLines {
+		return false
+	}
+	// Conservative structural pre-check so a burst either issues
+	// completely or not at all.
+	if g.respQ.Len()+len(addrs) > g.cfg.ResponseQueueCap {
+		return false
+	}
+	switch path {
+	case PathSharedCache:
+		return g.loadShared(w, addrs, now)
+	case PathBypass:
+		for _, a := range addrs {
+			done := g.l2c.Bypass(now, a, false)
+			g.respQ.Push(memory.Event{
+				Req:        memory.Request{Addr: a, Kind: memory.Load, WarpID: w.ID, IssueCycle: now},
+				Line:       a.LineAddr(),
+				ReadyCycle: done,
+				Payload:    payloadBypass,
+			})
+			w.Outstanding++
+		}
+		return true
+	default:
+		return g.loadL1(w, addrs, now)
+	}
+}
+
+func (g *GPU) loadL1(w *Warp, addrs []memory.Addr, now uint64) bool {
+	if g.mshr.Outstanding()+len(addrs) > g.mshr.Capacity() {
+		g.mshr.NoteStall()
+		return false
+	}
+	misses := 0
+	for _, a := range addrs {
+		// Secondary access to an in-flight line: merge silently. It is
+		// neither a hit nor a fresh miss, and it must not probe the
+		// VTA (the line is coming; locality was not lost).
+		if e := g.mshr.Lookup(a); e != nil && !e.SharedValid {
+			if g.mshr.CanAllocate(a) {
+				g.mshr.Allocate(memory.Request{Addr: a, Kind: memory.Load, WarpID: w.ID, IssueCycle: now})
+				w.Outstanding++
+				misses++
+				continue
+			}
+		}
+		if g.l1.Access(a, w.ID, now, false) {
+			continue
+		}
+		misses++
+		g.probeVTA(w, a, now, false)
+		req := memory.Request{Addr: a, Kind: memory.Load, WarpID: w.ID, IssueCycle: now}
+		if !g.mshr.CanAllocate(a) {
+			// Merge-limit overflow on a hot line: fetch directly
+			// without an MSHR slot (the fill bypasses L1 allocation).
+			done := g.l2c.Bypass(now, a, false)
+			g.respQ.Push(memory.Event{Req: req, Line: a.LineAddr(), ReadyCycle: done, Payload: payloadBypass})
+			w.Outstanding++
+			continue
+		}
+		_, merged := g.mshr.Allocate(req)
+		if !merged {
+			done, level := g.l2c.Access(now, a, w.ID, false)
+			g.respQ.Push(memory.Event{
+				Req:        req,
+				Line:       a.LineAddr(),
+				ReadyCycle: done,
+				HitLevel:   level,
+				Payload:    payloadL1,
+			})
+		}
+		w.Outstanding++
+	}
+	if misses == 0 {
+		w.NextReady = now + uint64(g.cfg.L1.HitLatency) + uint64(g.cfg.DependLatency) - 1
+	}
+	return true
+}
+
+// loadShared serves an isolated warp's load via the shared-memory
+// cache, including the L1D→shared migration for coherence (§IV-B).
+func (g *GPU) loadShared(w *Warp, addrs []memory.Addr, now uint64) bool {
+	if g.mshr.Outstanding()+len(addrs) > g.mshr.Capacity() {
+		g.mshr.NoteStall()
+		return false
+	}
+	misses, migrations := 0, 0
+	for _, a := range addrs {
+		// Secondary access to an in-flight shared fill: merge silently.
+		if e := g.mshr.Lookup(a); e != nil && e.SharedValid {
+			if g.mshr.CanAllocate(a) {
+				g.mshr.Allocate(memory.Request{Addr: a, Kind: memory.Load, WarpID: w.ID, IssueCycle: now})
+				w.Outstanding++
+				misses++
+				continue
+			}
+		}
+		// Serialized L1D tag check first: a resident copy must migrate
+		// so exactly one copy exists.
+		if g.l1.Probe(a) {
+			g.l1.Invalidate(a)
+			g.fillShared(a, w.ID)
+			g.shc.Access(a, w.ID) // counts the (now-hit) access
+			migrations++
+			continue
+		}
+		if g.shc.Access(a, w.ID) {
+			continue
+		}
+		misses++
+		g.probeVTA(w, a, now, true)
+		req := memory.Request{Addr: a, Kind: memory.Load, WarpID: w.ID, IssueCycle: now}
+		if !g.mshr.CanAllocate(a) {
+			done := g.l2c.Bypass(now, a, false)
+			g.respQ.Push(memory.Event{Req: req, Line: a.LineAddr(), ReadyCycle: done, Payload: payloadBypass})
+			w.Outstanding++
+			continue
+		}
+		entry, merged := g.mshr.Allocate(req)
+		entry.SharedValid = true
+		if !merged {
+			done, level := g.l2c.Access(now, a, w.ID, false)
+			g.respQ.Push(memory.Event{
+				Req:        req,
+				Line:       a.LineAddr(),
+				ReadyCycle: done,
+				HitLevel:   level,
+				Payload:    payloadShared,
+			})
+		}
+		w.Outstanding++
+	}
+	switch {
+	case misses > 0:
+		// Blocked on fills; NextReady handled by wake.
+	case migrations > 0:
+		w.NextReady = now + uint64(g.cfg.MigrationPenalty) + uint64(g.cfg.DependLatency)
+	default:
+		w.NextReady = now + uint64(g.cfg.SharedHitLatency) + uint64(g.cfg.DependLatency) - 1
+	}
+	return true
+}
+
+// fillShared installs a line into the shared cache, feeding evictions
+// into the common VTA.
+func (g *GPU) fillShared(addr memory.Addr, wid int) {
+	evLine, evWID, evicted := g.shc.Fill(addr, wid)
+	if evicted && evWID != wid {
+		g.vta.Insert(evWID, evLine, wid)
+	}
+}
+
+// store serves a global store (write-through, non-blocking).
+func (g *GPU) store(w *Warp, ins workload.Instruction, now uint64) bool {
+	path := g.ctrl.MemPath(g, w.ID)
+	if path == PathSharedCache && g.shc == nil {
+		path = PathL1
+	}
+	for _, a := range ins.AddrSlice() {
+		switch path {
+		case PathSharedCache:
+			if g.l1.Probe(a) {
+				g.l1.Invalidate(a)
+			}
+			if g.shc.Probe(a) {
+				g.fillShared(a, w.ID) // update in place
+			}
+		case PathBypass:
+			// No L1 interaction at all.
+		default:
+			g.l1.Access(a, w.ID, now, true)
+		}
+		// Write-through to L2 consumes bandwidth off the critical path.
+		g.l2c.Access(now, a, w.ID, true)
+	}
+	w.NextReady = now + uint64(g.cfg.DependLatency)
+	return true
+}
+
+// handleFill retires one response-queue event.
+func (g *GPU) handleFill(ev memory.Event, now uint64) {
+	switch ev.Payload {
+	case payloadBypass:
+		g.wake(ev.Req.WarpID, now)
+		return
+	case payloadShared:
+		entry := g.mshr.Fill(ev.Line)
+		if entry == nil {
+			return
+		}
+		g.fillShared(ev.Line, ev.Req.WarpID)
+		for _, r := range entry.Merged {
+			g.wake(r.WarpID, now)
+		}
+	default:
+		entry := g.mshr.Fill(ev.Line)
+		if entry == nil {
+			return
+		}
+		evc, evicted := g.l1.Fill(ev.Line, ev.Req.WarpID, now)
+		if evicted && evc.OwnerWID != ev.Req.WarpID {
+			g.vta.Insert(evc.OwnerWID, evc.Line, ev.Req.WarpID)
+		}
+		for _, r := range entry.Merged {
+			g.wake(r.WarpID, now)
+		}
+	}
+}
+
+// wake releases one in-flight line of a warp.
+func (g *GPU) wake(wid int, now uint64) {
+	w := &g.warps[wid]
+	if w.Outstanding > 0 {
+		w.Outstanding--
+	}
+}
+
+// arriveBarrier processes a BarrierOp.
+func (g *GPU) arriveBarrier(wid int, now uint64) {
+	w := &g.warps[wid]
+	cta := w.CTA
+	w.AtBarrier = true
+	g.barriers[cta]++
+	g.maybeReleaseBarrier(cta, now)
+}
+
+// maybeReleaseBarrier opens the CTA barrier once all live warps
+// arrived.
+func (g *GPU) maybeReleaseBarrier(cta int, now uint64) {
+	live := 0
+	for i := range g.warps {
+		if g.warps[i].CTA == cta && !g.warps[i].Finished {
+			live++
+		}
+	}
+	if g.barriers[cta] < live {
+		return
+	}
+	g.barriers[cta] = 0
+	for i := range g.warps {
+		if g.warps[i].CTA == cta && g.warps[i].AtBarrier {
+			g.warps[i].AtBarrier = false
+			if g.warps[i].NextReady <= now {
+				g.warps[i].NextReady = now + 1
+			}
+		}
+	}
+}
+
+// finishWarp retires a warp and unblocks its CTA barrier if needed.
+func (g *GPU) finishWarp(wid int) {
+	w := &g.warps[wid]
+	if w.Finished {
+		return
+	}
+	w.Finished = true
+	g.finished++
+	g.ctrl.OnWarpFinished(g, wid)
+	g.maybeReleaseBarrier(w.CTA, g.cycle)
+}
+
+// sample records one time-series point.
+func (g *GPU) sample(now uint64) {
+	l1 := g.l1.Stats()
+	dAcc := l1.Accesses - g.sL1Acc
+	dHit := l1.Hits - g.sL1Hit
+	hr := 0.0
+	if dAcc > 0 {
+		hr = float64(dHit) / float64(dAcc)
+	}
+	g.ts.Add(metrics.Sample{
+		Cycle:        now,
+		Instructions: g.instTotal,
+		IPC:          float64(g.instTotal-g.sInst) / float64(g.cfg.SampleInterval),
+		ActiveWarps:  g.ActiveWarps(),
+		Interference: g.sVTA,
+		L1HitRate:    hr,
+	})
+	g.sInst = g.instTotal
+	g.sVTA = 0
+	g.sL1Acc, g.sL1Hit = l1.Accesses, l1.Hits
+}
+
+// Result is the final report of one simulation.
+type Result struct {
+	Scheduler      string
+	Benchmark      string
+	Cycles         uint64
+	Instructions   uint64
+	IPC            float64
+	L1             cache.Stats
+	VTAHits        uint64
+	SharedUtil     float64
+	SharedStats    sharedmem.CacheStats
+	DeadlockFrees  uint64
+	StructStalls   uint64
+	FinishedWarps  int
+	TimedOut       bool
+	MaxActiveWarps int
+}
+
+// Result snapshots the current statistics.
+func (g *GPU) Result() Result {
+	r := Result{
+		Scheduler:     g.ctrl.Name(),
+		Benchmark:     g.kernel.Spec().Name,
+		Cycles:        g.cycle,
+		Instructions:  g.instTotal,
+		L1:            g.l1.Stats(),
+		VTAHits:       g.vtaHitsTotal,
+		DeadlockFrees: g.deadlockFrees,
+		StructStalls:  g.structStalls,
+		FinishedWarps: g.finished,
+		TimedOut:      !g.Done() && g.cycle >= g.cfg.MaxCycles,
+	}
+	if g.cycle > 0 {
+		r.IPC = float64(g.instTotal) / float64(g.cycle)
+	}
+	if g.shc != nil {
+		r.SharedUtil = g.shc.Utilization()
+		r.SharedStats = g.shc.Stats()
+	}
+	return r
+}

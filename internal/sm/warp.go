@@ -1,0 +1,106 @@
+package sm
+
+import "repro/internal/workload"
+
+// Warp is the scheduler-visible state of one resident warp. The V
+// (active) and I (isolated) flags are exactly the warp-list bits CIAO
+// adds in §IV-A: V=1,I=0 active; V=1,I=1 isolated (memory requests
+// redirected to shared memory); V=0 stalled.
+type Warp struct {
+	// ID is the warp slot (0..NumWarps-1).
+	ID int
+	// CTA is the warp's cooperative thread array.
+	CTA int
+
+	// V is the active flag: cleared when the warp is stalled by a
+	// throttling scheduler.
+	V bool
+	// I is the isolation flag: set when CIAO redirects the warp's
+	// global accesses to the shared-memory cache.
+	I bool
+
+	// Finished reports stream exhaustion.
+	Finished bool
+	// AtBarrier reports the warp is waiting at its CTA barrier.
+	AtBarrier bool
+	// Outstanding is the number of in-flight line fills.
+	Outstanding int
+	// MaxPending is the warp's memory-level parallelism: it may keep
+	// issuing while Outstanding < MaxPending (set from the SM config).
+	MaxPending int
+	// NextReady is the earliest cycle the warp may issue again.
+	NextReady uint64
+	// InstExecuted counts issued instructions.
+	InstExecuted uint64
+	// VTAHits counts this warp's cumulative lost-locality detections
+	// (the per-warp VTACount register of Figure 6).
+	VTAHits uint64
+	// LastIssued is the cycle of the warp's last issue, used by GTO.
+	LastIssued uint64
+
+	stream *workload.WarpStream
+	// pending holds an instruction that failed a structural hazard
+	// (MSHR full, response queue full) and must be retried.
+	pending    *workload.Instruction
+	stallCount uint64
+}
+
+// Ready reports whether the warp can be issued at cycle now. Stalled
+// (V=0), finished, barrier-blocked and memory-blocked warps are not
+// ready.
+func (w *Warp) Ready(now uint64) bool {
+	return w.V && w.Issueable(now)
+}
+
+// Issueable reports whether the warp could issue at cycle now ignoring
+// the throttle flag V. Schedulers that stall warps use this together
+// with their own eligibility predicate (e.g. the barrier boost that
+// lets a stalled warp run when its CTA is blocked at a barrier).
+// A warp with in-flight fills may keep issuing (hit-under-miss) until
+// its MLP budget is exhausted.
+func (w *Warp) Issueable(now uint64) bool {
+	return !w.Finished && !w.AtBarrier && w.Outstanding < w.maxPending() && w.NextReady <= now
+}
+
+// Runnable reports whether the warp could ever issue again regardless
+// of throttling — used for progress/deadlock accounting.
+func (w *Warp) Runnable() bool {
+	return !w.Finished && !w.AtBarrier && w.Outstanding < w.maxPending()
+}
+
+func (w *Warp) maxPending() int {
+	if w.MaxPending <= 0 {
+		return 1
+	}
+	return w.MaxPending
+}
+
+// State renders the CIAO three-state for diagnostics: "active",
+// "isolated" or "stalled".
+func (w *Warp) State() string {
+	switch {
+	case !w.V:
+		return "stalled"
+	case w.I:
+		return "isolated"
+	default:
+		return "active"
+	}
+}
+
+// next returns the warp's next instruction, honouring a structurally
+// stalled retry first.
+func (w *Warp) next() (workload.Instruction, bool) {
+	if w.pending != nil {
+		ins := *w.pending
+		w.pending = nil
+		return ins, true
+	}
+	return w.stream.Next()
+}
+
+// retry re-queues an instruction after a structural hazard.
+func (w *Warp) retry(ins workload.Instruction) {
+	w.pending = &ins
+	w.stallCount++
+}

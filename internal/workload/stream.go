@@ -1,0 +1,313 @@
+package workload
+
+import "repro/internal/memory"
+
+// GlobalBase is the base global address of every benchmark's input.
+const GlobalBase memory.Addr = 0x1000_0000
+
+// rng is a splitmix64 PRNG: tiny, fast and deterministic across
+// platforms, which matters more here than statistical sophistication.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*0x9E3779B97F4A7C15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pct rolls a percentage in [0,100).
+func (r *rng) pct() int { return int(r.next() % 100) }
+
+// WarpStream generates the instruction sequence of one warp, lazily
+// and deterministically.
+type WarpStream struct {
+	spec    Spec
+	warpID  int
+	heavy   bool // heterogeneity: elevated traffic and window
+	rnd     *rng
+	issued  uint64 // instructions produced so far
+	phases  []Phase
+	phaseAt []uint64 // cumulative instruction boundary of each phase
+
+	// Window-walk state.
+	windowStart  uint64 // line offset of the window within the region
+	windowPos    int    // cursor within the window
+	windowTouch  int    // touches since the last slide
+	streamCursor uint64 // one-touch streaming cursor within the region
+
+	// Region geometry.
+	regionLines uint64 // lines per region
+	regionBase  memory.Addr
+	inputLines  uint64
+
+	// outCursor walks the warp's private output stream (stores write
+	// results sequentially, like the y[] of a matrix-vector kernel;
+	// they never revisit the reuse window).
+	outCursor uint64
+}
+
+// OutputBase is the base address of the store output space, disjoint
+// from every input region.
+const OutputBase memory.Addr = 0x8000_0000
+
+// NewWarpStream builds the stream for warp warpID of spec.
+func NewWarpStream(spec Spec, warpID int) *WarpStream {
+	phases := spec.effectivePhases()
+	bounds := make([]uint64, len(phases))
+	var acc float64
+	for i, p := range phases {
+		acc += p.Frac
+		bounds[i] = uint64(acc * float64(spec.InstrPerWarp))
+	}
+	bounds[len(bounds)-1] = spec.InstrPerWarp // absorb rounding
+
+	inputLines := uint64(spec.InputBytes / memory.LineSize)
+	if inputLines == 0 {
+		inputLines = 1
+	}
+	numRegions := spec.NumWarps / spec.RegionSharing
+	if numRegions == 0 {
+		numRegions = 1
+	}
+	regionLines := inputLines / uint64(numRegions)
+	if regionLines == 0 {
+		regionLines = 1
+	}
+	region := warpID / spec.RegionSharing % numRegions
+	base := GlobalBase + memory.Addr(uint64(region)*regionLines*memory.LineSize)
+
+	heavy := spec.HeavyEvery > 0 && warpID%spec.HeavyEvery == spec.HeavyEvery-1
+	ws := &WarpStream{
+		spec:        spec,
+		warpID:      warpID,
+		heavy:       heavy,
+		rnd:         newRNG(spec.Seed ^ (uint64(warpID)+1)*0xA24BAED4963EE407),
+		phases:      phases,
+		phaseAt:     bounds,
+		regionLines: regionLines,
+		regionBase:  base,
+		inputLines:  inputLines,
+	}
+	// Warps sharing a region start phase-shifted within the window so
+	// they chase each other's lines rather than marching in lockstep.
+	ws.windowPos = (warpID % spec.RegionSharing) * 2
+	return ws
+}
+
+// WarpID returns the stream's warp.
+func (s *WarpStream) WarpID() int { return s.warpID }
+
+// Issued returns how many instructions have been generated.
+func (s *WarpStream) Issued() uint64 { return s.issued }
+
+// Remaining returns how many instructions are left.
+func (s *WarpStream) Remaining() uint64 { return s.spec.InstrPerWarp - s.issued }
+
+// Done reports stream exhaustion.
+func (s *WarpStream) Done() bool { return s.issued >= s.spec.InstrPerWarp }
+
+// phase returns the active phase for the next instruction.
+func (s *WarpStream) phase() Phase {
+	for i, b := range s.phaseAt {
+		if s.issued < b {
+			return s.phases[i]
+		}
+	}
+	return s.phases[len(s.phases)-1]
+}
+
+// Next produces the next instruction; ok=false when exhausted.
+func (s *WarpStream) Next() (ins Instruction, ok bool) {
+	if s.Done() {
+		return Instruction{}, false
+	}
+	defer func() { s.issued++ }()
+
+	// Barriers fire at fixed indices so all warps of a CTA agree.
+	if s.spec.Barriers && s.spec.BarrierEvery > 0 &&
+		s.issued > 0 && s.issued%s.spec.BarrierEvery == 0 {
+		return Instruction{Kind: BarrierOp}, true
+	}
+
+	ph := s.phase()
+
+	// Explicit shared-memory traffic.
+	if s.spec.SharedPct > 0 && s.rnd.pct() < s.spec.SharedPct {
+		deg := s.spec.ConflictDegree
+		if deg < 1 {
+			deg = 1
+		}
+		return Instruction{Kind: SharedOp, Conflict: deg}, true
+	}
+
+	// Global memory access with probability derived from the phase's
+	// thread-level APKI and coalescing fan-out; heavy warps run 1.6×
+	// hotter.
+	prob := ph.MemProbPerMille()
+	if s.heavy {
+		prob = prob * 8 / 5
+		if prob > 980 {
+			prob = 980
+		}
+	}
+	if int(s.rnd.next()%1000) < prob {
+		kind := GlobalLoad
+		if s.spec.StorePct > 0 && s.rnd.pct() < s.spec.StorePct {
+			kind = GlobalStore
+		}
+		ins := Instruction{Kind: kind}
+		fan := ph.Fanout
+		if fan <= 0 {
+			fan = 1
+		}
+		if kind == GlobalStore {
+			// Results stream to a private output array; they never
+			// touch the reuse window.
+			for k := 0; k < fan; k++ {
+				line := uint64(s.warpID)<<24 + s.outCursor
+				s.outCursor++
+				ins.Addrs[k] = OutputBase + memory.Addr(line*memory.LineSize)
+			}
+			ins.NAddr = uint8(fan)
+			return ins, true
+		}
+		for k := 0; k < fan; k++ {
+			ins.Addrs[k] = s.nextAddress(ph)
+		}
+		ins.NAddr = uint8(fan)
+		return ins, true
+	}
+	return Instruction{Kind: Compute}, true
+}
+
+// window returns the warp's effective window size for the phase.
+func (s *WarpStream) window(ph Phase) uint64 {
+	win := uint64(ph.WindowLines)
+	if win == 0 {
+		win = 1
+	}
+	if s.heavy {
+		scale := ph.HeavyScale
+		if scale <= 0 {
+			scale = 1
+		}
+		win *= uint64(scale)
+	}
+	if win > s.regionLines {
+		win = s.regionLines
+	}
+	return win
+}
+
+// nextAddress picks one line: a window re-reference (locality), an
+// irregular jump (index-array), or a one-touch streaming line.
+func (s *WarpStream) nextAddress(ph Phase) memory.Addr {
+	irrPct := ph.IrregularPct
+	winPct := ph.WindowPct
+	if s.heavy {
+		// Heavy warps are the high-locality ones: more window
+		// re-references, less irregularity.
+		irrPct /= 4
+		winPct += 20
+		if winPct > 85 {
+			winPct = 85
+		}
+	}
+	roll := s.rnd.pct()
+	switch {
+	case roll < irrPct:
+		// Index-array style access anywhere in the input.
+		line := uint64(s.rnd.intn(int(s.inputLines)))
+		return GlobalBase + memory.Addr(line*memory.LineSize)
+	case roll < irrPct+winPct:
+		return s.windowAddress(ph)
+	default:
+		// One-touch stream through the region, beyond the window area.
+		win := s.window(ph)
+		span := s.regionLines - win
+		if span == 0 {
+			span = 1
+		}
+		line := (win + s.streamCursor%span) % s.regionLines
+		s.streamCursor++
+		return s.regionBase + memory.Addr(line*memory.LineSize)
+	}
+}
+
+// windowAddress walks the window cyclically, sliding one line every
+// win×reuse touches so cold misses stay rare while the phase's
+// locality structure persists.
+func (s *WarpStream) windowAddress(ph Phase) memory.Addr {
+	win := s.window(ph)
+	line := (s.windowStart + uint64(s.windowPos)%win) % s.regionLines
+	s.windowPos++
+	if uint64(s.windowPos) >= win {
+		s.windowPos = 0
+	}
+	s.windowTouch++
+	reuse := ph.Reuse
+	if reuse <= 0 {
+		reuse = 1
+	}
+	if s.heavy {
+		reuse *= HeavyReuseScale
+	}
+	if s.windowTouch >= int(win)*reuse {
+		s.windowTouch = 0
+		s.windowStart = (s.windowStart + 1) % s.regionLines
+	}
+	return s.regionBase + memory.Addr(line*memory.LineSize)
+}
+
+// Kernel bundles the per-warp streams of one benchmark instance.
+type Kernel struct {
+	spec    Spec
+	streams []*WarpStream
+}
+
+// NewKernel validates spec and builds all warp streams.
+func NewKernel(spec Spec) (*Kernel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	streams := make([]*WarpStream, spec.NumWarps)
+	for w := range streams {
+		streams[w] = NewWarpStream(spec, w)
+	}
+	return &Kernel{spec: spec, streams: streams}, nil
+}
+
+// MustKernel is NewKernel for known-good specs (panics on error).
+func MustKernel(spec Spec) *Kernel {
+	k, err := NewKernel(spec)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Spec returns the kernel's specification.
+func (k *Kernel) Spec() Spec { return k.spec }
+
+// Stream returns warp w's stream.
+func (k *Kernel) Stream(w int) *WarpStream { return k.streams[w] }
+
+// NumWarps returns the warp count.
+func (k *Kernel) NumWarps() int { return len(k.streams) }
+
+// TotalInstructions returns the aggregate instruction budget.
+func (k *Kernel) TotalInstructions() uint64 {
+	return uint64(k.spec.NumWarps) * k.spec.InstrPerWarp
+}
