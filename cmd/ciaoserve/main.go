@@ -1,0 +1,80 @@
+// Command ciaoserve runs the CIAO reproduction as a long-lived HTTP
+// service. Experiment results are cached (content-addressed LRU) and
+// identical in-flight requests are coalesced, so a cell is simulated
+// at most once no matter how many clients ask for it.
+//
+// Endpoints:
+//
+//	POST /run          one bench × sched cell, synchronous
+//	POST /experiment   fig8, fig1b, fig4, fig9, fig10, fig11a, fig11b,
+//	                   fig12a, fig12b, timeseries, overhead, run — async
+//	GET  /jobs/{id}    poll an async job; result inlined once done
+//	GET  /healthz      liveness + cache hit/miss counters
+//
+// Example:
+//
+//	ciaoserve -addr :8080 &
+//	curl -s localhost:8080/run -d '{"bench":"SYRK","sched":"CIAO-C","options":{"instr_per_warp":2000}}'
+//	curl -s localhost:8080/experiment -d '{"experiment":"fig8","options":{"instr_per_warp":1000}}'
+//	curl -s localhost:8080/jobs/<id>
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrently executing experiments (0 = GOMAXPROCS)")
+		entries = flag.Int("cache", 256, "result cache capacity in entries (<= 0 disables)")
+		jobs    = flag.Int("jobs", 1024, "max retained async job records (oldest finished evicted first)")
+	)
+	flag.Parse()
+
+	cacheEntries := *entries
+	if cacheEntries <= 0 {
+		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
+	}
+	engine := service.NewEngine(service.Config{Workers: *workers, CacheEntries: cacheEntries, MaxJobs: *jobs})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewHandler(engine)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("ciaoserve listening on %s (workers=%d cache=%d)", *addr, *workers, *entries)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s cache=%s",
+			r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond),
+			orDash(rec.Header().Get("X-Cache")))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -17,7 +17,12 @@
 //	ciaosim -experiment overhead          # §V-F cost model
 //	ciaosim -experiment run -bench SYRK -sched CIAO-C   # one cell
 //
-// -instr scales simulation length (instructions per warp).
+// -instr scales simulation length (instructions per warp). -json
+// switches the output to the same stable JSON encoding served by
+// cmd/ciaoserve; it supports the simulation experiments, timeseries
+// (-sched takes a comma-separated scheduler list there) and the
+// overhead model, and rejects the text-only views (fig1a, table1,
+// table2, chip), which have no JSON form.
 package main
 
 import (
@@ -25,12 +30,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/overhead"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/sm"
 	"repro/internal/workload"
 )
@@ -39,17 +46,46 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "fig8", "experiment to run (fig1a, fig1b, fig4, fig8, fig9, fig10, fig11a, fig11b, fig12a, fig12b, table1, table2, overhead, run)")
 		bench      = flag.String("bench", "SYRK", "benchmark for -experiment run")
-		sched      = flag.String("sched", "CIAO-C", "scheduler for -experiment run")
+		sched      = flag.String("sched", "CIAO-C", "scheduler for -experiment run (comma-separated list for -json timeseries)")
 		instr      = flag.Uint64("instr", 0, "instructions per warp (0 = suite default)")
 		seed       = flag.Uint64("seed", 0, "workload seed override")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	)
 	flag.Parse()
 
-	opt := harness.Options{InstrPerWarp: *instr, Seed: *seed}
-	if err := run(*experiment, *bench, *sched, opt); err != nil {
+	var err error
+	if *jsonOut {
+		err = runJSON(*experiment, *bench, *sched, *instr, *seed)
+	} else {
+		opt := harness.Options{InstrPerWarp: *instr, Seed: *seed}
+		err = run(*experiment, *bench, *sched, opt)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciaosim:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON routes the experiment through the service runner so ciaosim
+// -json and ciaoserve emit byte-identical encodings.
+func runJSON(experiment, bench, sched string, instr, seed uint64) error {
+	spec := service.Spec{
+		Experiment: experiment,
+		Options:    service.OptionSpec{InstrPerWarp: instr, Seed: seed},
+	}
+	switch experiment {
+	case service.ExpRun:
+		spec.Bench, spec.Sched = bench, sched
+	case service.ExpTimeSeries:
+		spec.Bench = bench
+		spec.Schedulers = strings.Split(sched, ",")
+	}
+	payload, err := service.Execute(spec)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(payload))
+	return err
 }
 
 func run(experiment, bench, sched string, opt harness.Options) error {

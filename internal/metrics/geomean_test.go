@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestGeoMeanEdgeCases pins the aggregation contract the harness and
+// service layer rely on: empty input and all-non-positive input both
+// yield 0, and non-positive entries are skipped rather than poisoning
+// the mean (matching how the paper aggregates normalised IPCs).
+func TestGeoMeanEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"empty slice", []float64{}, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"all negative", []float64{-1, -2}, 0},
+		{"mixed non-positive", []float64{0, -3, 0}, 0},
+		{"single", []float64{2}, 2},
+		{"pair", []float64{2, 8}, 4},
+		{"skips non-positive", []float64{2, 0, 8, -5}, 4},
+	}
+	for _, c := range cases {
+		got := GeoMean(c.in)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: GeoMean(%v) = %g, want %g", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMeanIdentity(t *testing.T) {
+	// GeoMean of identical positive values is that value.
+	for _, v := range []float64{0.1, 1, 3.7} {
+		if got := GeoMean([]float64{v, v, v}); math.Abs(got-v) > 1e-12 {
+			t.Errorf("GeoMean(%g×3) = %g", v, got)
+		}
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	var c CacheCounters
+	if s := c.Snapshot(); s.HitRate != 0 {
+		t.Errorf("zero counters hit rate = %g, want 0", s.HitRate)
+	}
+	c.Hits.Add(3)
+	c.Misses.Inc()
+	c.Evictions.Inc()
+	s := c.Snapshot()
+	if s.Hits != 3 || s.Misses != 1 || s.Evictions != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if math.Abs(s.HitRate-0.75) > 1e-12 {
+		t.Errorf("hit rate = %g, want 0.75", s.HitRate)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}

@@ -15,18 +15,18 @@ import (
 // sampling interval.
 type Sample struct {
 	// Cycle is the simulation cycle at capture time.
-	Cycle uint64
+	Cycle uint64 `json:"cycle"`
 	// Instructions is the cumulative instruction count at capture time.
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// IPC is the interval IPC (instructions issued during the interval
 	// divided by interval cycles).
-	IPC float64
+	IPC float64 `json:"ipc"`
 	// ActiveWarps is the number of non-stalled, non-finished warps.
-	ActiveWarps int
+	ActiveWarps int `json:"active_warps"`
 	// Interference is the number of VTA hits during the interval.
-	Interference uint64
+	Interference uint64 `json:"interference"`
 	// L1HitRate is the interval L1D hit rate.
-	L1HitRate float64
+	L1HitRate float64 `json:"l1_hit_rate"`
 }
 
 // TimeSeries accumulates interval samples.

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ResultCache is a bounded, goroutine-safe LRU of encoded experiment
+// results, content-addressed by Spec.Key(). Entries are immutable
+// byte slices, so a hit can be served to any number of readers without
+// copying; callers must not mutate returned payloads.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	counters metrics.CacheCounters
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+// NewResultCache builds a cache holding at most capacity entries.
+// capacity <= 0 disables storage (every lookup misses).
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the payload for key, marking it most recently used.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.counters.Misses.Inc()
+		return nil, false
+	}
+	c.counters.Hits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// Put stores the payload under key, evicting the least recently used
+// entry when over capacity.
+func (c *ResultCache) Put(key string, payload []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.counters.Evictions.Inc()
+	}
+}
+
+// Len reports the number of stored entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *ResultCache) Stats() metrics.CacheSnapshot {
+	return c.counters.Snapshot()
+}

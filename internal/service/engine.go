@@ -1,0 +1,276 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Source reports how a result was obtained.
+type Source string
+
+// Result sources.
+const (
+	// SourceComputed means this request ran the simulation.
+	SourceComputed Source = "computed"
+	// SourceCache means the result was served from the LRU cache.
+	SourceCache Source = "cache"
+	// SourceCoalesced means an identical request was already in
+	// flight and this one waited for it instead of re-simulating.
+	SourceCoalesced Source = "coalesced"
+)
+
+// RunFunc executes a spec and returns its encoded result.
+type RunFunc func(Spec) ([]byte, error)
+
+// Engine executes experiment specs with three layers of work
+// avoidance: a content-addressed LRU result cache, single-flight
+// coalescing of identical in-flight specs, and a bounded worker pool
+// so a burst of distinct requests cannot oversubscribe the host (each
+// simulation already fans out internally via harness.RunMatrix).
+type Engine struct {
+	run   RunFunc
+	cache *ResultCache
+	slots chan struct{}
+
+	maxJobs  int
+	mu       sync.Mutex
+	inflight map[string]*flight
+	jobs     map[string]*Job
+	jobOrder []string // submission order, for bounded retention
+	seq      uint64
+	runs     metrics.Counter
+}
+
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers bounds concurrently executing specs (0 = GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the result cache (0 = default 256,
+	// negative = caching disabled).
+	CacheEntries int
+	// MaxJobs bounds retained job records, results included; the
+	// oldest finished jobs are evicted first (0 = default 1024).
+	MaxJobs int
+	// Run overrides the executor; nil means Execute. Tests inject
+	// counting fakes here.
+	Run RunFunc
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.Run == nil {
+		cfg.Run = Execute
+	}
+	return &Engine{
+		run:      cfg.Run,
+		cache:    NewResultCache(cfg.CacheEntries),
+		slots:    make(chan struct{}, cfg.Workers),
+		maxJobs:  cfg.MaxJobs,
+		inflight: make(map[string]*flight),
+		jobs:     make(map[string]*Job),
+	}
+}
+
+// Cache exposes the result cache (for stats endpoints).
+func (e *Engine) Cache() *ResultCache { return e.cache }
+
+// Simulations returns how many times the executor actually ran —
+// cache hits and coalesced waits do not count.
+func (e *Engine) Simulations() uint64 { return e.runs.Value() }
+
+// Run executes the spec synchronously, deduplicating against the
+// cache and any identical in-flight request. The returned payload is
+// shared and must not be mutated.
+func (e *Engine) Run(spec Spec) ([]byte, Source, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, "", err
+	}
+	key := spec.Key()
+	if payload, ok := e.cache.Get(key); ok {
+		return payload, SourceCache, nil
+	}
+
+	e.mu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, "", f.err
+		}
+		return f.payload, SourceCoalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	e.slots <- struct{}{}
+	e.runs.Inc()
+	payload, err := e.run(spec)
+	<-e.slots
+
+	if err == nil {
+		e.cache.Put(key, payload)
+	}
+	f.payload, f.err = payload, err
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(f.done)
+
+	if err != nil {
+		return nil, "", err
+	}
+	return payload, SourceComputed, nil
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job tracks one asynchronous experiment submission.
+type Job struct {
+	id      string
+	spec    Spec
+	created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	source   Source
+	payload  []byte
+	err      error
+	finished time.Time
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID       string          `json:"id"`
+	Spec     Spec            `json:"spec"`
+	State    JobState        `json:"state"`
+	Source   Source          `json:"source,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Created  time.Time       `json:"created"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:      j.id,
+		Spec:    j.spec,
+		State:   j.state,
+		Source:  j.source,
+		Created: j.created,
+	}
+	if j.state != JobRunning {
+		t := j.finished
+		s.Finished = &t
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if j.state == JobDone {
+		s.Result = j.payload
+	}
+	return s
+}
+
+// Submit validates the spec and starts it asynchronously, returning a
+// job whose ID can be polled via Job lookup. Submitted jobs share the
+// same cache and coalescing as synchronous Run calls. At most MaxJobs
+// records are retained: once over the limit the oldest finished jobs
+// are dropped, after which their IDs look up as unknown.
+func (e *Engine) Submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.seq++
+	j := &Job{
+		id:      fmt.Sprintf("job-%d-%s", e.seq, spec.Key()[:12]),
+		spec:    spec,
+		created: time.Now().UTC(),
+		state:   JobRunning,
+	}
+	e.jobs[j.id] = j
+	e.jobOrder = append(e.jobOrder, j.id)
+	e.pruneJobsLocked()
+	e.mu.Unlock()
+
+	go func() {
+		payload, source, err := e.Run(spec)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finished = time.Now().UTC()
+		if err != nil {
+			j.state, j.err = JobFailed, err
+			return
+		}
+		j.state, j.source, j.payload = JobDone, source, payload
+	}()
+	return j, nil
+}
+
+// pruneJobsLocked evicts the oldest finished jobs while over the
+// retention limit. Running jobs are never dropped, so the map can
+// transiently exceed maxJobs under a burst of in-flight submissions.
+// Callers must hold e.mu.
+func (e *Engine) pruneJobsLocked() {
+	for len(e.jobs) > e.maxJobs {
+		evicted := false
+		for i, id := range e.jobOrder {
+			j := e.jobs[id]
+			j.mu.Lock()
+			finished := j.state != JobRunning
+			j.mu.Unlock()
+			if finished {
+				delete(e.jobs, id)
+				e.jobOrder = append(e.jobOrder[:i], e.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Job looks up a submitted job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; specs are tiny.
+const maxBodyBytes = 1 << 20
+
+// NewHandler wires the engine into an http.Handler:
+//
+//	POST /run          — one bench × sched cell, synchronous
+//	POST /experiment   — any experiment by name, asynchronous (202 + job id)
+//	GET  /jobs/{id}    — job status; result inlined once done
+//	GET  /healthz      — liveness plus cache and worker statistics
+//
+// Responses are JSON; /run and finished jobs carry an X-Cache header
+// (computed, cache, or coalesced) so clients and tests can observe
+// cache effectiveness.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		spec, ok := decodeSpec(w, r)
+		if !ok {
+			return
+		}
+		if spec.Experiment == "" {
+			spec.Experiment = ExpRun
+		}
+		if spec.Experiment != ExpRun {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("service: /run only accepts single cells; POST /experiment for %q", spec.Experiment))
+			return
+		}
+		payload, source, err := e.Run(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", string(source))
+		w.Write(payload)
+	})
+
+	mux.HandleFunc("POST /experiment", func(w http.ResponseWriter, r *http.Request) {
+		spec, ok := decodeSpec(w, r)
+		if !ok {
+			return
+		}
+		job, err := e.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Status())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", r.PathValue("id")))
+			return
+		}
+		status := job.Status()
+		if status.Source != "" {
+			w.Header().Set("X-Cache", string(status.Source))
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status       string   `json:"status"`
+			Cache        any      `json:"cache"`
+			CacheEntries int      `json:"cache_entries"`
+			Simulations  uint64   `json:"simulations"`
+			Experiments  []string `json:"experiments"`
+		}{
+			Status:       "ok",
+			Cache:        e.Cache().Stats(),
+			CacheEntries: e.Cache().Len(),
+			Simulations:  e.Simulations(),
+			Experiments:  Experiments(),
+		})
+	})
+	return mux
+}
+
+func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return Spec{}, false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, errors.New("service: trailing data after spec"))
+		return Spec{}, false
+	}
+	return spec, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it for the log.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/overhead"
+	"repro/internal/workload"
+)
+
+// Execute runs the experiment named by spec to completion and returns
+// its stable JSON encoding. It is a pure function of the spec — no
+// caching, no concurrency limits — and is shared by the engine, the
+// ciaoserve handlers and ciaosim -json.
+func Execute(spec Spec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	opt := spec.Options.Options()
+	v, err := execute(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+func execute(spec Spec, opt harness.Options) (any, error) {
+	switch spec.Experiment {
+	case ExpRun:
+		f, err := harness.SchedulerByName(spec.Sched)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workload.ByName(spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		r, g, err := harness.RunOne(w, f, opt)
+		if err != nil {
+			return nil, err
+		}
+		return harness.NewCellResult(spec.Bench, r, g.Interference().Total()), nil
+	case ExpFig8:
+		return harness.RunFig8(opt)
+	case ExpFig1b:
+		return harness.RunFig1b(opt)
+	case ExpFig4:
+		return harness.RunFig4(opt)
+	case ExpFig9:
+		return runSeries(opt, []string{"ATAX", "Backprop"}, []string{"Best-SWL", "CCWS", "CIAO-T"})
+	case ExpFig10:
+		return runSeries(opt, []string{"SYRK", "KMN"}, []string{"CIAO-T", "CIAO-P", "CIAO-C"})
+	case ExpFig11a:
+		return harness.RunEpochSensitivity([]uint64{1000, 5000, 10000, 50000}, opt)
+	case ExpFig11b:
+		return harness.RunCutoffSensitivity([]float64{0.04, 0.02, 0.01, 0.005}, opt)
+	case ExpFig12a:
+		return harness.RunFig12a(opt)
+	case ExpFig12b:
+		return harness.RunFig12b(opt)
+	case ExpTimeSeries:
+		return harness.RunTimeSeries(spec.Bench, spec.Schedulers, opt)
+	case ExpOverhead:
+		return overhead.Compute(), nil
+	}
+	return nil, fmt.Errorf("service: unknown experiment %q", spec.Experiment)
+}
+
+// runSeries gathers the fixed figure-9/10 trace sets, one
+// TimeSeriesSet per benchmark.
+func runSeries(opt harness.Options, benches, scheds []string) (any, error) {
+	if opt.SampleInterval == 0 {
+		opt.SampleInterval = 2000
+	}
+	out := make(map[string]*harness.TimeSeriesSet, len(benches))
+	for _, b := range benches {
+		set, err := harness.RunTimeSeries(b, scheds, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = set
+	}
+	return out, nil
+}

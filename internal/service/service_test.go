@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpecKeyCanonicalization(t *testing.T) {
+	// Fields irrelevant to the experiment must not split cache entries.
+	a := Spec{Experiment: ExpFig8, Bench: "SYRK", Sched: "GTO"}
+	b := Spec{Experiment: ExpFig8}
+	if a.Key() != b.Key() {
+		t.Errorf("fig8 keys differ despite irrelevant cell fields")
+	}
+	// Scheduler order is irrelevant for a time-series trace.
+	ts1 := Spec{Experiment: ExpTimeSeries, Bench: "SYRK", Schedulers: []string{"GTO", "CCWS"}}
+	ts2 := Spec{Experiment: ExpTimeSeries, Bench: "SYRK", Schedulers: []string{"CCWS", "GTO"}}
+	if ts1.Key() != ts2.Key() {
+		t.Errorf("timeseries keys differ despite same scheduler set")
+	}
+	// Distinct cells must address distinct results.
+	c1 := Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "GTO"}
+	c2 := Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "CCWS"}
+	if c1.Key() == c2.Key() {
+		t.Errorf("different schedulers share a key")
+	}
+	c3 := c1
+	c3.Options.InstrPerWarp = 500
+	if c1.Key() == c3.Key() {
+		t.Errorf("different options share a key")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "CIAO-C"}, true},
+		{Spec{Experiment: ExpRun, Bench: "NOPE", Sched: "CIAO-C"}, false},
+		{Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "NOPE"}, false},
+		{Spec{Experiment: ExpFig8}, true},
+		{Spec{Experiment: "fig99"}, false},
+		{Spec{Experiment: ExpTimeSeries, Bench: "SYRK"}, false},
+		{Spec{Experiment: ExpTimeSeries, Bench: "SYRK", Schedulers: []string{"GTO"}}, true},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := c.Get("a"); !ok || string(got) != "A" {
+		t.Errorf("a = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", s.Hits, s.Misses)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := NewResultCache(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+// countingRunner fabricates deterministic payloads and counts real
+// executions.
+func countingRunner(calls *atomic.Int64) RunFunc {
+	return func(s Spec) ([]byte, error) {
+		calls.Add(1)
+		return []byte(fmt.Sprintf(`{"key":%q}`, s.Key())), nil
+	}
+}
+
+func TestEngineCacheHitReturnsIdenticalBytes(t *testing.T) {
+	var calls atomic.Int64
+	e := NewEngine(Config{Workers: 2, Run: countingRunner(&calls)})
+	spec := Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "CIAO-C"}
+
+	first, src, err := e.Run(spec)
+	if err != nil || src != SourceComputed {
+		t.Fatalf("first run: src=%q err=%v", src, err)
+	}
+	second, src, err := e.Run(spec)
+	if err != nil || src != SourceCache {
+		t.Fatalf("second run: src=%q err=%v, want cache hit", src, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cache hit returned different bytes")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("simulations = %d, want 1 (second request must not re-run)", n)
+	}
+	if e.Simulations() != 1 {
+		t.Errorf("engine counter = %d, want 1", e.Simulations())
+	}
+}
+
+func TestEngineCoalescesConcurrentIdenticalSpecs(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	e := NewEngine(Config{Workers: 4, Run: func(s Spec) ([]byte, error) {
+		calls.Add(1)
+		<-release // hold every racer in the in-flight window
+		return []byte(`{"ok":true}`), nil
+	}})
+	spec := Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "GTO"}
+
+	const racers = 16
+	results := make([][]byte, racers)
+	var started, done sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			payload, _, err := e.Run(spec)
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+			}
+			results[i] = payload
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	done.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("simulations = %d, want 1 (identical in-flight specs must coalesce)", n)
+	}
+	for i := 1; i < racers; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("racer %d got different bytes", i)
+		}
+	}
+}
+
+func TestEngineDistinctSpecsRunSeparately(t *testing.T) {
+	var calls atomic.Int64
+	e := NewEngine(Config{Workers: 2, Run: countingRunner(&calls)})
+	if _, _, err := e.Run(Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "GTO"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run(Spec{Experiment: ExpRun, Bench: "SYRK", Sched: "CCWS"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("simulations = %d, want 2", n)
+	}
+}
+
+func TestEngineRunRejectsBadSpec(t *testing.T) {
+	var calls atomic.Int64
+	e := NewEngine(Config{Run: countingRunner(&calls)})
+	if _, _, err := e.Run(Spec{Experiment: "nope"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := e.Submit(Spec{Experiment: "nope"}); err == nil {
+		t.Error("bad spec submitted")
+	}
+	if calls.Load() != 0 {
+		t.Error("runner invoked for invalid spec")
+	}
+}
+
+func TestEngineErrorsAreNotCached(t *testing.T) {
+	var calls atomic.Int64
+	fail := true
+	e := NewEngine(Config{Workers: 1, Run: func(s Spec) ([]byte, error) {
+		calls.Add(1)
+		if fail {
+			return nil, fmt.Errorf("transient")
+		}
+		return []byte(`{}`), nil
+	}})
+	spec := Spec{Experiment: ExpFig8}
+	if _, _, err := e.Run(spec); err == nil {
+		t.Fatal("want error")
+	}
+	fail = false
+	if _, src, err := e.Run(spec); err != nil || src != SourceComputed {
+		t.Fatalf("retry: src=%q err=%v, want fresh computation", src, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestEngineJobRetention pins the bounded-jobs contract: finished
+// jobs beyond MaxJobs are evicted oldest-first, so a long-lived
+// server cannot leak job records.
+func TestEngineJobRetention(t *testing.T) {
+	var calls atomic.Int64
+	e := NewEngine(Config{Workers: 2, MaxJobs: 3, Run: countingRunner(&calls)})
+
+	var ids []string
+	for _, bench := range []string{"SYRK", "KMN", "ATAX", "BICG", "MVT"} {
+		j, err := e.Submit(Spec{Experiment: ExpRun, Bench: bench, Sched: "GTO"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wait for completion so the next Submit may prune it.
+		deadline := time.Now().Add(5 * time.Second)
+		for j.Status().State == JobRunning {
+			if time.Now().After(deadline) {
+				t.Fatal("job never finished")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ids = append(ids, j.ID())
+	}
+
+	for i, id := range ids {
+		_, ok := e.Job(id)
+		if wantKept := i >= len(ids)-3; ok != wantKept {
+			t.Errorf("job %d (%s): retained=%v, want %v", i, id, ok, wantKept)
+		}
+	}
+}
+
+// TestExecuteRealCellOnce pins the integration path: a real (short)
+// simulation flows through Execute and produces valid, cacheable JSON.
+func TestExecuteRealCellOnce(t *testing.T) {
+	spec := Spec{
+		Experiment: ExpRun, Bench: "SYRK", Sched: "GTO",
+		Options: OptionSpec{InstrPerWarp: 300},
+	}
+	payload, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(payload, []byte(`"bench":"SYRK"`)) ||
+		!bytes.Contains(payload, []byte(`"ipc":`)) {
+		t.Errorf("unexpected payload: %s", payload)
+	}
+	again, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, again) {
+		t.Error("Execute is not deterministic for a fixed spec")
+	}
+}

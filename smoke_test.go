@@ -1,0 +1,46 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// TestSmokeEndToEndCell runs one short benchmark × scheduler cell
+// through the full stack so plain `go test ./...` exercises an
+// end-to-end simulation in the root package (the benchmarks above only
+// run under -bench).
+func TestSmokeEndToEndCell(t *testing.T) {
+	spec, err := workload.ByName("SYRK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := harness.SchedulerByName("CIAO-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := harness.Options{InstrPerWarp: 500}
+	if testing.Short() {
+		opt.InstrPerWarp = 200
+	}
+	r, g, err := harness.RunOne(spec, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions == 0 || r.Cycles == 0 {
+		t.Fatalf("simulation made no progress: %+v", r)
+	}
+	if r.IPC <= 0 {
+		t.Errorf("IPC = %g, want > 0", r.IPC)
+	}
+	if r.FinishedWarps == 0 && !r.TimedOut {
+		t.Error("no warp finished and the run did not time out")
+	}
+	if r.L1.Accesses == 0 {
+		t.Error("no L1D traffic — workload generator produced no memory ops")
+	}
+	if g.Interference() == nil {
+		t.Error("no interference matrix recorded")
+	}
+}
