@@ -8,12 +8,14 @@
 package repro_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/sm"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -254,6 +256,68 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles = r.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// --- Sweep engine hot path ---
+
+// sweepSpec is the grid the sweep benchmarks expand: 7 schedulers ×
+// 21 benchmarks × 4 configurations = 588 cells.
+func sweepSpec() sweep.Spec {
+	return sweep.Spec{
+		Name: "bench",
+		Axes: sweep.Axes{
+			Configs: []sweep.Config{
+				{Name: "base"},
+				{Name: "l1-32k", Override: harness.Override{L1SizeKB: 32, L1Ways: 8}},
+				{Name: "w24", Override: harness.Override{WarpsPerSM: 24}},
+				{Name: "bw2x", Override: harness.Override{DRAMBandwidthX: 2}},
+			},
+		},
+	}
+}
+
+// BenchmarkSweepExpansion measures declarative-spec expansion —
+// validation, config cross product and content addressing for every
+// cell — the setup cost every sweep pays before simulating.
+func BenchmarkSweepExpansion(b *testing.B) {
+	spec := sweepSpec()
+	var n int
+	for i := 0; i < b.N; i++ {
+		cells, err := spec.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(cells)
+	}
+	b.ReportMetric(float64(n), "cells")
+}
+
+// BenchmarkSweepStoreAppend measures the NDJSON result store's append
+// path (marshal + single write), the per-cell bookkeeping overhead of
+// a running sweep.
+func BenchmarkSweepStoreAppend(b *testing.B) {
+	spec := sweepSpec()
+	cells, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sweep.Create(filepath.Join(b.TempDir(), "s"), "bench", spec, len(cells))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	payload := []byte(`{"bench":"SYRK","sched":"GTO","ipc":1.25,"cycles":100000}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cells[i%len(cells)]
+		rec := sweep.CellRecord{
+			Key: c.Key(), Index: c.Index, Bench: c.Bench, Sched: c.Sched,
+			Config: c.Config, Status: sweep.StatusOK, IPC: 1.25, Result: payload,
+		}
+		if err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) ---

@@ -5,18 +5,27 @@
 //
 // Endpoints:
 //
-//	POST /run          one bench × sched cell, synchronous
-//	POST /experiment   fig8, fig1b, fig4, fig9, fig10, fig11a, fig11b,
-//	                   fig12a, fig12b, timeseries, overhead, run — async
-//	GET  /jobs/{id}    poll an async job; result inlined once done
-//	GET  /healthz      liveness + cache hit/miss counters
+//	POST   /run                  one bench × sched cell, synchronous
+//	POST   /experiment           fig8, fig1b, fig4, fig9, fig10, fig11a,
+//	                             fig11b, fig12a, fig12b, timeseries,
+//	                             overhead, run — async
+//	GET    /jobs/{id}            poll an async job; result inlined once done
+//	POST   /sweeps               start a declarative parameter sweep
+//	GET    /sweeps               list sweeps
+//	GET    /sweeps/{id}          sweep progress (done/total, failures,
+//	                             geomean-so-far)
+//	GET    /sweeps/{id}/results  stream results as NDJSON (live tail;
+//	                             ?follow=0 for a snapshot)
+//	DELETE /sweeps/{id}          cancel a sweep (results kept on disk)
+//	GET    /metrics              cache/engine/sweep counters
+//	GET    /healthz              liveness + the same counters
 //
 // Example:
 //
 //	ciaoserve -addr :8080 &
 //	curl -s localhost:8080/run -d '{"bench":"SYRK","sched":"CIAO-C","options":{"instr_per_warp":2000}}'
-//	curl -s localhost:8080/experiment -d '{"experiment":"fig8","options":{"instr_per_warp":1000}}'
-//	curl -s localhost:8080/jobs/<id>
+//	curl -s localhost:8080/sweeps -d @examples/sweep-l1-capacity.json
+//	curl -sN localhost:8080/sweeps/<id>/results
 package main
 
 import (
@@ -26,14 +35,16 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrently executing experiments (0 = GOMAXPROCS)")
-		entries = flag.Int("cache", 256, "result cache capacity in entries (<= 0 disables)")
-		jobs    = flag.Int("jobs", 1024, "max retained async job records (oldest finished evicted first)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrently executing experiments (0 = GOMAXPROCS)")
+		entries  = flag.Int("cache", 256, "result cache capacity in entries (<= 0 disables)")
+		jobs     = flag.Int("jobs", 1024, "max retained async job records (oldest finished evicted first)")
+		sweepDir = flag.String("sweepdir", "sweeps", "directory for on-disk sweep results")
 	)
 	flag.Parse()
 
@@ -42,12 +53,21 @@ func main() {
 		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
 	}
 	engine := service.NewEngine(service.Config{Workers: *workers, CacheEntries: cacheEntries, MaxJobs: *jobs})
+	sweeps := sweep.NewManager(engine, *sweepDir, 0)
+
+	mux := http.NewServeMux()
+	mux.Handle("/sweeps", sweeps.Handler())
+	mux.Handle("/sweeps/", sweeps.Handler())
+	mux.Handle("/", service.NewHandlerWith(engine, func() map[string]any {
+		return map[string]any{"sweeps": sweeps.MetricsSnapshot()}
+	}))
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewHandler(engine)),
+		Handler:           logRequests(mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ciaoserve listening on %s (workers=%d cache=%d)", *addr, *workers, *entries)
+	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s)", *addr, *workers, *entries, *sweepDir)
 	log.Fatal(srv.ListenAndServe())
 }
 
@@ -70,6 +90,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the sweep results endpoint tails
+// a file) through the logging wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func orDash(s string) string {

@@ -58,6 +58,10 @@ type Options struct {
 	InstrPerWarp uint64
 	// Seed overrides the spec's seed when non-zero.
 	Seed uint64
+	// NumWarps overrides the resident warp count when non-zero; it
+	// must stay divisible into the spec's CTAs (workload validation
+	// rejects it otherwise).
+	NumWarps int
 	// ConfigHook mutates the SM config before construction (used by
 	// the Figure 11/12 sweeps).
 	ConfigHook func(*sm.Config)
@@ -76,6 +80,9 @@ func (o Options) applySpec(spec workload.Spec) workload.Spec {
 	}
 	if o.Seed != 0 {
 		spec.Seed = o.Seed
+	}
+	if o.NumWarps > 0 {
+		spec.NumWarps = o.NumWarps
 	}
 	return spec
 }

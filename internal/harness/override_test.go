@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+func TestOverrideValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Override
+		want string // "" = valid
+	}{
+		{"zero", Override{}, ""},
+		{"bigger L1", Override{L1SizeKB: 64, L1Ways: 8}, ""},
+		{"fermi 48KB mode", Override{L1SizeKB: 48, L1Ways: 6, SharedMemKB: 16}, ""},
+		{"warps", Override{WarpsPerSM: 24}, ""},
+		{"ciao", Override{CIAOHighEpoch: 1000, CIAOHighCutoff: 0.02, CIAOLowCutoff: 0.01}, ""},
+		{"negative", Override{L1SizeKB: -1}, "negative"},
+		{"warp granularity", Override{WarpsPerSM: 30}, "warps_per_sm"},
+		{"bad sets", Override{L1SizeKB: 17}, "power of two"},
+		{"cutoff range", Override{CIAOHighCutoff: 1.5}, "cutoffs"},
+		{"inverted cutoffs", Override{CIAOHighCutoff: 0.01, CIAOLowCutoff: 0.02}, "ciao_low_cutoff"},
+		// One-sided overrides compare against the defaults they keep
+		// (high 0.01, low 0.005).
+		{"low above default high", Override{CIAOLowCutoff: 0.02}, "ciao_low_cutoff"},
+		{"high below default low", Override{CIAOHighCutoff: 0.003}, "ciao_low_cutoff"},
+		{"low below default high", Override{CIAOLowCutoff: 0.008}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.o.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestOverrideApplyConfig(t *testing.T) {
+	// An existing hook must run first and stay effective for fields
+	// the override leaves alone.
+	base := Options{ConfigHook: func(c *sm.Config) { c.MSHRMergeMax = 99 }}
+	o := Override{L1SizeKB: 32, L1Ways: 8, SharedMemKB: 32, DRAMBandwidthX: 2, WarpsPerSM: 16}
+	opt := o.Apply(base)
+	if opt.NumWarps != 16 {
+		t.Errorf("NumWarps = %d", opt.NumWarps)
+	}
+	f, err := SchedulerByName("GTO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opt.buildConfig(f)
+	if cfg.L1.SizeBytes != 32<<10 || cfg.L1.Ways != 8 {
+		t.Errorf("L1 = %d bytes %d ways", cfg.L1.SizeBytes, cfg.L1.Ways)
+	}
+	if cfg.SharedMemBytes != 32<<10 {
+		t.Errorf("shared = %d", cfg.SharedMemBytes)
+	}
+	if cfg.L2Config.DRAM.BandwidthMultiplier != 2 {
+		t.Errorf("bandwidth = %d", cfg.L2Config.DRAM.BandwidthMultiplier)
+	}
+	if cfg.MSHRMergeMax != 99 {
+		t.Error("pre-existing ConfigHook was dropped")
+	}
+}
+
+func TestOverrideApplyCIAO(t *testing.T) {
+	o := Override{CIAOHighEpoch: 1234, CIAOHighCutoff: 0.04, CIAOLowCutoff: 0.02}
+	opt := o.Apply(Options{})
+	if opt.ControllerHook == nil {
+		t.Fatal("no controller hook")
+	}
+	c := core.NewC()
+	opt.ControllerHook(c)
+	p := c.Params()
+	if p.HighEpoch != 1234 || p.HighCutoff != 0.04 || p.LowCutoff != 0.02 {
+		t.Errorf("params = %+v", p)
+	}
+	// Non-CIAO controllers are left alone.
+	gto, _ := SchedulerByName("GTO")
+	opt.ControllerHook(gto.New()) // must not panic
+}
+
+func TestOverrideWarpsReachSimulation(t *testing.T) {
+	spec, err := workload.ByName("SYRK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := SchedulerByName("GTO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Override{WarpsPerSM: 16}.Apply(Options{InstrPerWarp: 300})
+	r, _, err := RunOne(spec, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinishedWarps != 16 {
+		t.Errorf("finished warps = %d, want 16", r.FinishedWarps)
+	}
+}

@@ -25,6 +25,31 @@ type CacheCounters struct {
 	Evictions Counter
 }
 
+// SweepCounters track the sweep subsystem: sweeps started, cells
+// completed and cells failed across every sweep of the process.
+type SweepCounters struct {
+	Started     Counter
+	CellsDone   Counter
+	CellsFailed Counter
+}
+
+// SweepSnapshot is a point-in-time, JSON-serializable view of
+// SweepCounters.
+type SweepSnapshot struct {
+	Started     uint64 `json:"started"`
+	CellsDone   uint64 `json:"cells_done"`
+	CellsFailed uint64 `json:"cells_failed"`
+}
+
+// Snapshot captures the current values.
+func (c *SweepCounters) Snapshot() SweepSnapshot {
+	return SweepSnapshot{
+		Started:     c.Started.Value(),
+		CellsDone:   c.CellsDone.Value(),
+		CellsFailed: c.CellsFailed.Value(),
+	}
+}
+
 // CacheSnapshot is a point-in-time, JSON-serializable view of
 // CacheCounters.
 type CacheSnapshot struct {

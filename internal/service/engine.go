@@ -37,13 +37,14 @@ type Engine struct {
 	cache *ResultCache
 	slots chan struct{}
 
-	maxJobs  int
-	mu       sync.Mutex
-	inflight map[string]*flight
-	jobs     map[string]*Job
-	jobOrder []string // submission order, for bounded retention
-	seq      uint64
-	runs     metrics.Counter
+	maxJobs   int
+	mu        sync.Mutex
+	inflight  map[string]*flight
+	jobs      map[string]*Job
+	jobOrder  []string // submission order, for bounded retention
+	seq       uint64
+	runs      metrics.Counter
+	submitted metrics.Counter
 }
 
 type flight struct {
@@ -97,6 +98,9 @@ func (e *Engine) Cache() *ResultCache { return e.cache }
 // Simulations returns how many times the executor actually ran —
 // cache hits and coalesced waits do not count.
 func (e *Engine) Simulations() uint64 { return e.runs.Value() }
+
+// JobsSubmitted returns how many async jobs Submit accepted.
+func (e *Engine) JobsSubmitted() uint64 { return e.submitted.Value() }
 
 // Run executes the spec synchronously, deduplicating against the
 // cache and any identical in-flight request. The returned payload is
@@ -227,6 +231,7 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	e.jobOrder = append(e.jobOrder, j.id)
 	e.pruneJobsLocked()
 	e.mu.Unlock()
+	e.submitted.Inc()
 
 	go func() {
 		payload, source, err := e.Run(spec)

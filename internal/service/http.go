@@ -16,12 +16,46 @@ const maxBodyBytes = 1 << 20
 //	POST /run          — one bench × sched cell, synchronous
 //	POST /experiment   — any experiment by name, asynchronous (202 + job id)
 //	GET  /jobs/{id}    — job status; result inlined once done
-//	GET  /healthz      — liveness plus cache and worker statistics
+//	GET  /metrics      — engine/cache counters (plus extra subsystems)
+//	GET  /healthz      — liveness plus the same counters
 //
 // Responses are JSON; /run and finished jobs carry an X-Cache header
 // (computed, cache, or coalesced) so clients and tests can observe
 // cache effectiveness.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine) http.Handler { return NewHandlerWith(e, nil) }
+
+// MetricsSnapshot is the /metrics payload.
+type MetricsSnapshot struct {
+	// Cache is the result cache's hit/miss/eviction counters.
+	Cache any `json:"cache"`
+	// CacheEntries is the live entry count.
+	CacheEntries int `json:"cache_entries"`
+	// Simulations counts actual executor runs (cache hits excluded).
+	Simulations uint64 `json:"simulations"`
+	// JobsSubmitted counts accepted async jobs.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	// Extra carries additional subsystems keyed by name (e.g.
+	// "sweeps": cells completed, failures).
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// NewHandlerWith is NewHandler plus an extra-metrics hook: when
+// non-nil, extra() is folded into /metrics and /healthz under "extra"
+// (ciaoserve passes the sweep manager's counters here — the service
+// package cannot import the sweep package, which sits above it).
+func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
+	snapshot := func() MetricsSnapshot {
+		s := MetricsSnapshot{
+			Cache:         e.Cache().Stats(),
+			CacheEntries:  e.Cache().Len(),
+			Simulations:   e.Simulations(),
+			JobsSubmitted: e.JobsSubmitted(),
+		}
+		if extra != nil {
+			s.Extra = extra()
+		}
+		return s
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
 		spec, ok := decodeSpec(w, r)
@@ -72,19 +106,19 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, status)
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, snapshot())
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
-			Status       string   `json:"status"`
-			Cache        any      `json:"cache"`
-			CacheEntries int      `json:"cache_entries"`
-			Simulations  uint64   `json:"simulations"`
-			Experiments  []string `json:"experiments"`
+			Status      string          `json:"status"`
+			Metrics     MetricsSnapshot `json:"metrics"`
+			Experiments []string        `json:"experiments"`
 		}{
-			Status:       "ok",
-			Cache:        e.Cache().Stats(),
-			CacheEntries: e.Cache().Len(),
-			Simulations:  e.Simulations(),
-			Experiments:  Experiments(),
+			Status:      "ok",
+			Metrics:     snapshot(),
+			Experiments: Experiments(),
 		})
 	})
 	return mux

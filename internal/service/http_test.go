@@ -215,23 +215,40 @@ func TestHTTPHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
 	var h struct {
-		Status string `json:"status"`
-		Cache  struct {
-			Hits   uint64 `json:"hits"`
-			Misses uint64 `json:"misses"`
-		} `json:"cache"`
-		CacheEntries int      `json:"cache_entries"`
-		Simulations  uint64   `json:"simulations"`
-		Experiments  []string `json:"experiments"`
+		Status  string `json:"status"`
+		Metrics struct {
+			Cache struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+			} `json:"cache"`
+			CacheEntries  int    `json:"cache_entries"`
+			Simulations   uint64 `json:"simulations"`
+			JobsSubmitted uint64 `json:"jobs_submitted"`
+		} `json:"metrics"`
+		Experiments []string `json:"experiments"`
 	}
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Simulations != 1 || h.Cache.Hits != 1 || h.CacheEntries != 1 {
+	m := h.Metrics
+	if h.Status != "ok" || m.Simulations != 1 || m.Cache.Hits != 1 || m.CacheEntries != 1 {
 		t.Errorf("healthz = %s", body)
 	}
 	if len(h.Experiments) == 0 {
 		t.Error("healthz lists no experiments")
+	}
+
+	// /metrics serves the same snapshot standalone.
+	mresp, mbody := getJSON(t, srv.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	var ms MetricsSnapshot
+	if err := json.Unmarshal(mbody, &ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Simulations != 1 || ms.CacheEntries != 1 {
+		t.Errorf("metrics = %s", mbody)
 	}
 }
 

@@ -26,6 +26,11 @@ func Execute(spec Spec) ([]byte, error) {
 }
 
 func execute(spec Spec, opt harness.Options) (any, error) {
+	if spec.Config != nil {
+		// Validate() restricts Config to the experiments whose runs it
+		// actually reaches (run, timeseries).
+		opt = spec.Config.Apply(opt)
+	}
 	switch spec.Experiment {
 	case ExpRun:
 		f, err := harness.SchedulerByName(spec.Sched)

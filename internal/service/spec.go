@@ -77,6 +77,9 @@ type Spec struct {
 	Schedulers []string `json:"schedulers,omitempty"`
 	// Options tune the simulation.
 	Options OptionSpec `json:"options,omitempty"`
+	// Config reshapes the machine/controller for "run" cells (sweep
+	// cells use this to explore non-default configurations).
+	Config *harness.Override `json:"config,omitempty"`
 }
 
 // Validate checks the spec against the known experiments, benchmarks
@@ -90,6 +93,11 @@ func (s Spec) Validate() error {
 		if _, err := harness.SchedulerByName(s.Sched); err != nil {
 			return err
 		}
+		if s.Config != nil {
+			if err := s.Config.Validate(); err != nil {
+				return err
+			}
+		}
 	case ExpTimeSeries:
 		if _, err := workload.ByName(s.Bench); err != nil {
 			return err
@@ -102,9 +110,18 @@ func (s Spec) Validate() error {
 				return err
 			}
 		}
+		if s.Config != nil {
+			if err := s.Config.Validate(); err != nil {
+				return err
+			}
+		}
 	case ExpFig8, ExpFig1b, ExpFig4, ExpFig9, ExpFig10,
 		ExpFig11a, ExpFig11b, ExpFig12a, ExpFig12b, ExpOverhead:
-		// No per-cell fields.
+		// No per-cell fields. Figures fix their own configurations, so
+		// an override would silently not apply — reject it instead.
+		if s.Config != nil && !s.Config.IsZero() {
+			return fmt.Errorf("service: config overrides only apply to %q cells", ExpRun)
+		}
 	default:
 		return fmt.Errorf("service: unknown experiment %q (want one of %s)",
 			s.Experiment, strings.Join(Experiments(), ", "))
@@ -140,7 +157,12 @@ func (s Spec) canonical() Spec {
 		// The cost model takes no options at all.
 		s = Spec{Experiment: ExpOverhead}
 	default:
-		s.Bench, s.Sched, s.Schedulers = "", "", nil
+		s.Bench, s.Sched, s.Schedulers, s.Config = "", "", nil, nil
+	}
+	// A present-but-empty override is the baseline machine; give both
+	// forms the same content address.
+	if s.Config != nil && s.Config.IsZero() {
+		s.Config = nil
 	}
 	return s
 }

@@ -1,0 +1,400 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+// Manager owns the sweeps of a long-lived server: it starts them
+// against a shared engine, tracks their progress, persists their
+// results under a base directory, and serves the /sweeps HTTP API.
+type Manager struct {
+	engine      *service.Engine
+	dir         string
+	parallelism int
+
+	mu       sync.Mutex
+	runs     map[string]*Run
+	order    []string
+	active   map[string]*Run     // spec key → currently running sweep
+	starting map[string]struct{} // spec keys between reservation and launch
+	maxRuns  int
+	seq      uint64
+
+	counters metrics.SweepCounters
+}
+
+// NewManager builds a manager persisting sweeps under dir.
+// parallelism bounds concurrently submitted cells per sweep (0 = the
+// runner default).
+func NewManager(e *service.Engine, dir string, parallelism int) *Manager {
+	return &Manager{
+		engine:      e,
+		dir:         dir,
+		parallelism: parallelism,
+		runs:        map[string]*Run{},
+		active:      map[string]*Run{},
+		starting:    map[string]struct{}{},
+		maxRuns:     256,
+	}
+}
+
+// Run is one managed sweep execution.
+type Run struct {
+	id      string
+	spec    Spec
+	store   *Store
+	created time.Time
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu   sync.Mutex
+	prog Progress
+}
+
+// ID returns the sweep identifier.
+func (r *Run) ID() string { return r.id }
+
+// Progress snapshots the run.
+func (r *Run) Progress() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prog
+}
+
+// Done is closed when the run finishes (any terminal state).
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Status is the JSON view of a managed sweep.
+type Status struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	Dir     string    `json:"dir"`
+	Created time.Time `json:"created"`
+	Progress
+}
+
+// Status snapshots the run for serving.
+func (r *Run) Status() Status {
+	return Status{
+		ID:       r.id,
+		Name:     r.spec.Name,
+		Dir:      r.store.Dir(),
+		Created:  r.created,
+		Progress: r.Progress(),
+	}
+}
+
+// Start expands the spec, opens (or resumes) its store under the base
+// directory, and launches the sweep asynchronously. The store
+// directory is keyed by the spec's content address, so re-POSTing a
+// spec whose earlier run was killed or cancelled resumes it (only the
+// missing cells execute), and POSTing a spec that is already running
+// returns the in-flight run instead of double-writing its store.
+func (m *Manager) Start(spec Spec) (*Run, error) {
+	cells, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	key := spec.Key()
+
+	// Reserve the spec key before any store I/O, so two concurrent
+	// POSTs of the same spec cannot both open the store and run every
+	// cell twice: the first wins, the second sees the reservation.
+	m.mu.Lock()
+	if run, ok := m.active[key]; ok {
+		m.mu.Unlock()
+		return run, nil
+	}
+	if _, ok := m.starting[key]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("sweep %q is already starting; retry shortly", spec.Name)
+	}
+	m.starting[key] = struct{}{}
+	m.seq++
+	id := fmt.Sprintf("sweep-%d-%s", m.seq, key[:12])
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.starting, key)
+		m.mu.Unlock()
+	}()
+
+	dir := filepath.Join(m.dir, "sweep-"+key[:16])
+	store, err := Create(dir, id, spec, len(cells))
+	if err != nil {
+		// The directory already holds this sweep (an earlier run, or a
+		// run from before a server restart): resume it. The manifest
+		// pins the spec, so a key collision cannot mix sweeps.
+		var openErr error
+		store, openErr = Open(dir, spec)
+		if openErr != nil {
+			return nil, err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &Run{
+		id:      id,
+		spec:    spec,
+		store:   store,
+		created: time.Now().UTC(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		prog:    Progress{State: StateRunning, Total: len(cells)},
+	}
+	m.mu.Lock()
+	m.runs[id] = run
+	m.order = append(m.order, id)
+	m.active[key] = run
+	m.pruneRunsLocked()
+	m.mu.Unlock()
+	m.counters.Started.Inc()
+
+	go func() {
+		defer close(run.done)
+		defer store.Close()
+		defer func() {
+			m.mu.Lock()
+			delete(m.active, key)
+			m.mu.Unlock()
+		}()
+		var last Progress
+		runner := &Runner{
+			Engine:      m.engine,
+			Store:       store,
+			Parallelism: m.parallelism,
+			OnProgress: func(p Progress) {
+				// Deliveries are ordered (see Runner), so the deltas
+				// below are non-negative.
+				okCells := (p.Done - p.Skipped) - (last.Done - last.Skipped)
+				if okCells > 0 {
+					m.counters.CellsDone.Add(uint64(okCells))
+				}
+				if d := p.Failed - last.Failed; d > 0 {
+					m.counters.CellsFailed.Add(uint64(d))
+				}
+				last = p
+				run.mu.Lock()
+				run.prog = p
+				run.mu.Unlock()
+			},
+		}
+		final, err := runner.Run(ctx, cells)
+		if err != nil && final.Error == "" {
+			final.Error = err.Error()
+		}
+		run.mu.Lock()
+		run.prog = final
+		run.mu.Unlock()
+	}()
+	return run, nil
+}
+
+// pruneRunsLocked evicts the oldest finished run records while over
+// the retention bound (mirroring the engine's job retention). Their
+// results stay on disk — only the in-memory handle goes away, after
+// which the ID answers 404. Callers must hold m.mu.
+func (m *Manager) pruneRunsLocked() {
+	for len(m.runs) > m.maxRuns {
+		evicted := false
+		for i, id := range m.order {
+			r := m.runs[id]
+			if r.Progress().State != StateRunning {
+				delete(m.runs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Get looks up a run by ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// Cancel stops a running sweep; completed cells stay on disk, so a
+// later identical POST resumes it. It reports whether the ID exists.
+func (m *Manager) Cancel(id string) (*Run, bool) {
+	r, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	r.cancel()
+	return r, true
+}
+
+// List snapshots every managed sweep in start order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if r, ok := m.Get(id); ok {
+			out = append(out, r.Status())
+		}
+	}
+	return out
+}
+
+// MetricsSnapshot reports the sweep counters plus the number of
+// currently running sweeps (for /metrics and /healthz).
+func (m *Manager) MetricsSnapshot() map[string]any {
+	m.mu.Lock()
+	active := 0
+	for _, r := range m.runs {
+		if r.Progress().State == StateRunning {
+			active++
+		}
+	}
+	total := len(m.runs)
+	m.mu.Unlock()
+	snap := m.counters.Snapshot()
+	return map[string]any{
+		"started":      snap.Started,
+		"cells_done":   snap.CellsDone,
+		"cells_failed": snap.CellsFailed,
+		"active":       active,
+		"tracked":      total,
+	}
+}
+
+// maxSpecBytes bounds sweep spec bodies.
+const maxSpecBytes = 1 << 20
+
+// Handler serves the sweep API:
+//
+//	POST   /sweeps               — start a sweep from a JSON spec (202)
+//	GET    /sweeps               — list sweeps
+//	GET    /sweeps/{id}          — progress (done/total, failures, geomean)
+//	GET    /sweeps/{id}/results  — NDJSON result stream; follows the
+//	                               sweep live unless ?follow=0
+//	DELETE /sweeps/{id}          — cancel; completed cells stay on disk
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sweep: bad spec: %w", err))
+			return
+		}
+		if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+			httpError(w, http.StatusBadRequest, errors.New("sweep: trailing data after spec"))
+			return
+		}
+		run, err := m.Start(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, run.Status())
+	})
+
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, run.Status())
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		m.streamResults(w, r, run)
+	})
+
+	mux.HandleFunc("DELETE /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		// Wait briefly so the returned status usually reflects the
+		// cancellation rather than racing it.
+		select {
+		case <-run.Done():
+		case <-time.After(2 * time.Second):
+		}
+		writeJSON(w, http.StatusOK, run.Status())
+	})
+	return mux
+}
+
+// streamResults copies the store's NDJSON file to the client and, by
+// default, keeps following it until the sweep reaches a terminal
+// state (tail -f semantics). ?follow=0 returns the current snapshot.
+func (m *Manager) streamResults(w http.ResponseWriter, r *http.Request, run *Run) {
+	f, err := os.Open(run.store.ResultsPath())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	follow := r.URL.Query().Get("follow") != "0"
+	flusher, _ := w.(http.Flusher)
+	for {
+		n, err := io.Copy(w, f)
+		if err != nil {
+			return // client went away
+		}
+		if n > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-run.Done():
+			// Final drain: appends stopped before done closed.
+			io.Copy(w, f)
+			return
+		case <-r.Context().Done():
+			return
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

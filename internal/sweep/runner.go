@@ -1,0 +1,235 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// State is a sweep run's lifecycle phase.
+type State string
+
+// Run states.
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed" // store I/O failure, not cell failure
+)
+
+// Progress is a point-in-time view of a sweep run. Done counts cells
+// with a stored success (including Skipped ones resumed from disk);
+// Executed counts cells this process actually pushed through the
+// engine.
+type Progress struct {
+	State    State `json:"state"`
+	Total    int   `json:"total"`
+	Done     int   `json:"done"`
+	Failed   int   `json:"failed"`
+	Skipped  int   `json:"skipped"`
+	Executed int   `json:"executed"`
+	// GeoMeanIPC aggregates the raw IPC of every successful cell so
+	// far (resumed cells included) — the sweep-wide "geomean so far".
+	GeoMeanIPC float64 `json:"geomean_ipc"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Runner executes a sweep's cells through a service engine, appending
+// every outcome to the store.
+type Runner struct {
+	Engine *service.Engine
+	Store  *Store
+	// Parallelism bounds concurrently submitted cells (0 = twice
+	// GOMAXPROCS; the engine's worker pool bounds actual simulation
+	// concurrency, extra submissions just queue on its slots).
+	Parallelism int
+	// ShardIndex/ShardCount split the cell list across processes:
+	// this runner only executes cells with Index % ShardCount ==
+	// ShardIndex. Zero ShardCount means one shard.
+	ShardIndex int
+	ShardCount int
+	// OnProgress, when set, observes every progress change. It is
+	// invoked synchronously under the runner's internal lock so
+	// deliveries arrive in order (observers can difference successive
+	// snapshots); keep it fast and never call back into the runner.
+	OnProgress func(Progress)
+}
+
+// geo accumulates a running geometric mean in log space.
+type geo struct {
+	logSum float64
+	n      int
+}
+
+func (g *geo) add(v float64) {
+	if v > 0 {
+		g.logSum += math.Log(v)
+		g.n++
+	}
+}
+
+func (g *geo) mean() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return math.Exp(g.logSum / float64(g.n))
+}
+
+// Run executes cells until completion or ctx cancellation, returning
+// the final progress. Cell failures are recorded and counted, not
+// fatal; only store I/O errors abort the sweep.
+func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
+	par := r.Parallelism
+	if par <= 0 {
+		par = 2 * runtime.GOMAXPROCS(0)
+	}
+	shards := r.ShardCount
+	if shards <= 0 {
+		shards = 1
+	}
+	if r.ShardIndex < 0 || r.ShardIndex >= shards {
+		return Progress{State: StateFailed}, fmt.Errorf("sweep: shard %d out of range 0..%d", r.ShardIndex, shards-1)
+	}
+
+	var mine []Cell
+	for _, c := range cells {
+		if c.Index%shards == r.ShardIndex {
+			mine = append(mine, c)
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		prog = Progress{State: StateRunning, Total: len(mine)}
+		gm   geo
+	)
+	// notify delivers a snapshot while holding mu, so observers see
+	// monotonically advancing progress (no reordered deliveries).
+	notify := func() {
+		if r.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		snap := prog
+		snap.GeoMeanIPC = gm.mean()
+		r.OnProgress(snap)
+		mu.Unlock()
+	}
+
+	// Resume: cells already completed on disk are skipped, their IPCs
+	// seeding the running geomean.
+	completed := r.Store.Completed()
+	var todo []Cell
+	for _, c := range mine {
+		if ipc, ok := completed[c.Key()]; ok {
+			prog.Done++
+			prog.Skipped++
+			gm.add(ipc)
+			continue
+		}
+		todo = append(todo, c)
+	}
+	notify()
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, par)
+		storeErr error
+	)
+loop:
+	for _, c := range todo {
+		mu.Lock()
+		broken := storeErr != nil
+		mu.Unlock()
+		if broken {
+			break
+		}
+		// Acquire the submission slot and the cancellation signal
+		// together, so a cancel arriving while blocked on a full
+		// semaphore does not launch one more cell.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break loop
+		}
+		if ctx.Err() != nil {
+			<-sem
+			break
+		}
+		wg.Add(1)
+		go func(c Cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec := r.runCell(c)
+			err := r.Store.Append(rec)
+			mu.Lock()
+			prog.Executed++
+			if err != nil {
+				if storeErr == nil {
+					storeErr = err
+				}
+			} else if rec.Status == StatusOK {
+				prog.Done++
+				gm.add(rec.IPC)
+			} else {
+				prog.Failed++
+			}
+			mu.Unlock()
+			notify()
+		}(c)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	switch {
+	case storeErr != nil:
+		prog.State = StateFailed
+		prog.Error = storeErr.Error()
+	case ctx.Err() != nil && prog.Done+prog.Failed < prog.Total:
+		prog.State = StateCancelled
+	default:
+		prog.State = StateDone
+	}
+	prog.GeoMeanIPC = gm.mean()
+	final := prog
+	err := storeErr
+	mu.Unlock()
+	if r.OnProgress != nil {
+		r.OnProgress(final)
+	}
+	return final, err
+}
+
+// runCell executes one cell through the engine and shapes the record.
+func (r *Runner) runCell(c Cell) CellRecord {
+	rec := CellRecord{
+		Key:    c.Key(),
+		Index:  c.Index,
+		Bench:  c.Bench,
+		Sched:  c.Sched,
+		Config: c.Config,
+	}
+	start := time.Now()
+	payload, source, err := r.Engine.Run(c.Spec)
+	rec.Elapsed = time.Since(start).Milliseconds()
+	if err != nil {
+		rec.Status = StatusFailed
+		rec.Error = err.Error()
+		return rec
+	}
+	rec.Status = StatusOK
+	rec.Source = string(source)
+	rec.Result = payload
+	var cell harness.CellResult
+	if json.Unmarshal(payload, &cell) == nil {
+		rec.IPC = cell.IPC
+	}
+	return rec
+}

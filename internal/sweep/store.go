@@ -1,0 +1,218 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store file names inside a sweep directory.
+const (
+	ManifestFile = "manifest.json"
+	ResultsFile  = "results.ndjson"
+)
+
+// Manifest pins a results directory to one sweep spec, so resuming
+// with a different spec fails loudly instead of silently mixing cells.
+type Manifest struct {
+	ID      string    `json:"id"`
+	Spec    Spec      `json:"spec"`
+	SpecKey string    `json:"spec_key"`
+	Created time.Time `json:"created"`
+	// TotalCells is the expansion size at creation time.
+	TotalCells int `json:"total_cells"`
+}
+
+// CellRecord is one NDJSON line of the results file: the cell's
+// identity, how it went, and (when it succeeded) the encoded
+// harness.CellResult. If a cell appears more than once (a failed cell
+// re-run on resume), the last record wins.
+type CellRecord struct {
+	Key     string `json:"key"`
+	Index   int    `json:"index"`
+	Bench   string `json:"bench"`
+	Sched   string `json:"sched"`
+	Config  string `json:"config,omitempty"`
+	Status  string `json:"status"` // "ok" or "failed"
+	Error   string `json:"error,omitempty"`
+	Source  string `json:"source,omitempty"` // computed, cache, coalesced
+	Elapsed int64  `json:"elapsed_ms"`
+	// IPC is duplicated out of Result so resumed geomeans and quick
+	// post-processing need not re-parse every payload.
+	IPC    float64         `json:"ipc,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Store is the append-only on-disk result set of one sweep. Appends
+// are serialised and each record is a single write of one complete
+// line, so a killed process can lose at most the line being written —
+// Open tolerates (and discards) a truncated tail.
+type Store struct {
+	dir      string
+	manifest Manifest
+
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]float64 // key → IPC of the last "ok" record
+}
+
+// Create initialises dir (which must not already contain a manifest)
+// for the given sweep and opens it for appending.
+func Create(dir, id string, spec Spec, totalCells int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create store: %w", err)
+	}
+	mpath := filepath.Join(dir, ManifestFile)
+	m := Manifest{
+		ID:         id,
+		Spec:       spec,
+		SpecKey:    spec.Key(),
+		Created:    time.Now().UTC(),
+		TotalCells: totalCells,
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	// O_EXCL makes directory ownership atomic: of two racing creators,
+	// exactly one wins and the other fails loudly instead of both
+	// appending to the same results file.
+	f, err := os.OpenFile(mpath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("sweep: %s already holds a sweep (resume it or pick another directory)", dir)
+		}
+		return nil, fmt.Errorf("sweep: write manifest: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("sweep: write manifest: %w", werr)
+	}
+	return openResults(dir, m)
+}
+
+// Open reopens an existing store for resumption. The stored manifest's
+// spec key must match spec; pass the zero Spec to skip the check (used
+// by read-only consumers).
+func Open(dir string, spec Spec) (*Store, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: no sweep at %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", dir, err)
+	}
+	if spec.Name != "" && m.SpecKey != spec.Key() {
+		return nil, fmt.Errorf("sweep: %s holds sweep %q (spec key %.12s…), not the requested spec (%.12s…)",
+			dir, m.Spec.Name, m.SpecKey, spec.Key())
+	}
+	return openResults(dir, m)
+}
+
+func openResults(dir string, m Manifest) (*Store, error) {
+	s := &Store{dir: dir, manifest: m, done: map[string]float64{}}
+	rpath := filepath.Join(dir, ResultsFile)
+	if err := s.load(rpath); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(rpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open results: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// load replays the results file into the completed-cell set. Lines
+// that do not parse (a truncated tail after a kill) are skipped:
+// their cells simply re-run.
+func (s *Store) load(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var rec CellRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.Key == "" {
+			continue
+		}
+		// Only successes complete a cell; failed-only cells re-run on
+		// resume.
+		if rec.Status == StatusOK {
+			s.done[rec.Key] = rec.IPC
+		}
+	}
+	return sc.Err()
+}
+
+// Record statuses.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Append writes one record as a single NDJSON line and updates the
+// completed set.
+func (s *Store) Append(rec CellRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: append result: %w", err)
+	}
+	if rec.Status == StatusOK {
+		s.done[rec.Key] = rec.IPC
+	}
+	return nil
+}
+
+// Completed returns a copy of the completed cell set: key → recorded
+// IPC.
+func (s *Store) Completed() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.done))
+	for k, v := range s.done {
+		out[k] = v
+	}
+	return out
+}
+
+// Manifest returns the pinned manifest.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ResultsPath returns the NDJSON file path (for streaming readers).
+func (s *Store) ResultsPath() string { return filepath.Join(s.dir, ResultsFile) }
+
+// Close releases the results file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name: "t",
+		Axes: Axes{Schedulers: []string{"GTO"}, Benchmarks: []string{"SYRK", "ATAX"}},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	spec := testSpec()
+	st, err := Create(dir, "id-1", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []CellRecord{
+		{Key: "k1", Index: 0, Bench: "SYRK", Sched: "GTO", Status: StatusOK, IPC: 1.5, Result: json.RawMessage(`{"ipc":1.5}`)},
+		{Key: "k2", Index: 1, Bench: "ATAX", Sched: "GTO", Status: StatusFailed, Error: "boom"},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	done := re.Completed()
+	if len(done) != 1 || done["k1"] != 1.5 {
+		t.Errorf("completed = %v, want only k1→1.5 (failed cells re-run)", done)
+	}
+	if re.Manifest().ID != "id-1" || re.Manifest().TotalCells != 2 {
+		t.Errorf("manifest = %+v", re.Manifest())
+	}
+}
+
+func TestStoreTruncatedTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	spec := testSpec()
+	st, err := Create(dir, "id", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(CellRecord{Key: "k1", Status: StatusOK, IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Simulate a kill mid-append: a torn, unterminated final line.
+	f, err := os.OpenFile(filepath.Join(dir, ResultsFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"k2","status":"o`)
+	f.Close()
+
+	re, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if done := re.Completed(); len(done) != 1 {
+		t.Errorf("completed = %v, want the torn record dropped", done)
+	}
+	// The store stays appendable after the torn tail.
+	if err := re.Append(CellRecord{Key: "k3", Status: StatusOK, IPC: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSpecMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	if st, err := Create(dir, "id", testSpec(), 2); err != nil {
+		t.Fatal(err)
+	} else {
+		st.Close()
+	}
+	other := testSpec()
+	other.Axes.Schedulers = []string{"CCWS"}
+	if _, err := Open(dir, other); err == nil || !strings.Contains(err.Error(), "not the requested spec") {
+		t.Errorf("err = %v, want spec-mismatch", err)
+	}
+	// Creating over an existing sweep is refused.
+	if _, err := Create(dir, "id2", testSpec(), 2); err == nil {
+		t.Error("Create over an existing manifest should fail")
+	}
+}
