@@ -11,13 +11,20 @@
 //	                             overhead, run — async
 //	GET    /jobs/{id}            poll an async job; result inlined once done
 //	POST   /sweeps               start a declarative parameter sweep
+//	                             ("distributed": true hands it to the
+//	                             shard coordinator instead of running
+//	                             in-process)
 //	GET    /sweeps               list sweeps
 //	GET    /sweeps/{id}          sweep progress (done/total, failures,
 //	                             geomean-so-far)
 //	GET    /sweeps/{id}/results  stream results as NDJSON (live tail;
 //	                             ?follow=0 for a snapshot)
 //	DELETE /sweeps/{id}          cancel a sweep (results kept on disk)
-//	GET    /metrics              cache/engine/sweep counters
+//	POST   /coord/lease          worker: acquire a shard lease
+//	POST   /coord/heartbeat      worker: renew a lease
+//	POST   /coord/complete       worker: upload a shard's records
+//	GET    /coord/status         shard tables of live distributed sweeps
+//	GET    /metrics              cache/engine/sweep/coordinator counters
 //	GET    /healthz              liveness + the same counters
 //
 // Example:
@@ -26,6 +33,7 @@
 //	curl -s localhost:8080/run -d '{"bench":"SYRK","sched":"CIAO-C","options":{"instr_per_warp":2000}}'
 //	curl -s localhost:8080/sweeps -d @examples/sweep-l1-capacity.json
 //	curl -sN localhost:8080/sweeps/<id>/results
+//	ciaosweep -worker http://localhost:8080 &   # serve leased shards
 package main
 
 import (
@@ -34,17 +42,21 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrently executing experiments (0 = GOMAXPROCS)")
-		entries  = flag.Int("cache", 256, "result cache capacity in entries (<= 0 disables)")
-		jobs     = flag.Int("jobs", 1024, "max retained async job records (oldest finished evicted first)")
-		sweepDir = flag.String("sweepdir", "sweeps", "directory for on-disk sweep results")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrently executing experiments (0 = GOMAXPROCS)")
+		entries   = flag.Int("cache", 256, "result cache capacity in entries (<= 0 disables)")
+		jobs      = flag.Int("jobs", 1024, "max retained async job records (oldest finished evicted first)")
+		sweepDir  = flag.String("sweepdir", "sweeps", "directory for on-disk sweep results")
+		shardSize = flag.Int("shardsize", coord.DefaultShardSize, "distributed sweeps: cells per leasable shard")
+		leaseTTL  = flag.Duration("leasettl", coord.DefaultTTL, "distributed sweeps: lease TTL without a heartbeat")
+		maxLeases = flag.Int("maxleases", coord.DefaultMaxLeases, "distributed sweeps: leases per shard before the sweep fails terminally")
 	)
 	flag.Parse()
 
@@ -53,13 +65,19 @@ func main() {
 		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
 	}
 	engine := service.NewEngine(service.Config{Workers: *workers, CacheEntries: cacheEntries, MaxJobs: *jobs})
+	hub := coord.NewHub(coord.Config{ShardSize: *shardSize, TTL: *leaseTTL, MaxLeases: *maxLeases})
 	sweeps := sweep.NewManager(engine, *sweepDir, 0)
+	sweeps.SetDistributor(hub)
 
 	mux := http.NewServeMux()
 	mux.Handle("/sweeps", sweeps.Handler())
 	mux.Handle("/sweeps/", sweeps.Handler())
+	mux.Handle("/coord/", hub.Handler())
 	mux.Handle("/", service.NewHandlerWith(engine, func() map[string]any {
-		return map[string]any{"sweeps": sweeps.MetricsSnapshot()}
+		return map[string]any{
+			"sweeps": sweeps.MetricsSnapshot(),
+			"coord":  hub.MetricsSnapshot(),
+		}
 	}))
 
 	srv := &http.Server{
@@ -67,7 +85,8 @@ func main() {
 		Handler:           logRequests(mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s)", *addr, *workers, *entries, *sweepDir)
+	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s shardsize=%d leasettl=%s)",
+		*addr, *workers, *entries, *sweepDir, *shardSize, *leaseTTL)
 	log.Fatal(srv.ListenAndServe())
 }
 

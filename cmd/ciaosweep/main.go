@@ -8,11 +8,17 @@
 // The store is what makes sweeps durable: kill the process at any
 // point and re-run with -resume to execute only the remaining cells.
 // Shards split one sweep across processes: -shard 0/2 and -shard 1/2
-// against the same spec (but different -dir) each run half the cells.
+// against the same spec (but different -dir) each run half the cells,
+// and -merge collapses the shard stores back into one. For sweeps
+// coordinated by a ciaoserve (spec field "distributed": true), run
+// workers instead: -worker leases shards from the server, executes
+// them, and uploads the records — no local store, no manual sharding.
 //
 //	ciaosweep -spec examples/sweep-l1-capacity.json -dir sweeps/l1
 //	^C ...
 //	ciaosweep -spec examples/sweep-l1-capacity.json -dir sweeps/l1 -resume
+//	ciaosweep -spec spec.json -dir sweeps/merged -merge sweeps/a,sweeps/b
+//	ciaosweep -worker http://coordinator:8080
 package main
 
 import (
@@ -32,26 +38,98 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "sweep spec JSON file (required)")
-		dir      = flag.String("dir", "", "results directory (default sweeps/<name>)")
-		resume   = flag.Bool("resume", false, "resume an existing results directory, skipping completed cells")
-		workers  = flag.Int("workers", 0, "max concurrently executing cells (0 = GOMAXPROCS)")
-		entries  = flag.Int("cache", 256, "engine result-cache capacity in entries")
-		shard    = flag.String("shard", "", "run only shard i of n, as i/n (e.g. 0/2)")
-		every    = flag.Duration("progress", 2*time.Second, "progress print interval (0 disables)")
+		specPath  = flag.String("spec", "", "sweep spec JSON file (required unless -worker)")
+		dir       = flag.String("dir", "", "results directory (default sweeps/<name>)")
+		resume    = flag.Bool("resume", false, "resume an existing results directory, skipping completed cells")
+		workers   = flag.Int("workers", 0, "max concurrently executing cells (0 = GOMAXPROCS)")
+		entries   = flag.Int("cache", 256, "engine result-cache capacity in entries")
+		shard     = flag.String("shard", "", "run only shard i of n, as i/n (e.g. 0/2)")
+		merge     = flag.String("merge", "", "comma-separated shard store directories to merge into -dir, then exit")
+		every     = flag.Duration("progress", 2*time.Second, "progress print interval (0 disables)")
+		workerURL = flag.String("worker", "", "run as a distributed sweep worker against this coordinator URL")
+		name      = flag.String("name", "", "worker name (default hostname-pid)")
+		idleExit  = flag.Duration("idle-exit", 0, "worker: exit after the coordinator has been idle this long (0 = poll forever)")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: lease poll interval when no shard is available")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("ciaosweep: ")
-	if err := run(*specPath, *dir, *resume, *workers, *entries, *shard, *every); err != nil {
+
+	var err error
+	switch {
+	case *workerURL != "":
+		err = runWorker(*workerURL, *name, *workers, *entries, *idleExit, *poll)
+	case *merge != "":
+		err = runMerge(*specPath, *dir, *merge)
+	default:
+		err = run(*specPath, *dir, *resume, *workers, *entries, *shard, *every)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runWorker loops leasing shards from a coordinator until interrupted
+// (or, with -idle-exit, until the coordinator stays idle that long).
+func runWorker(url, name string, workers, entries int, idleExit, poll time.Duration) error {
+	engine := service.NewEngine(service.Config{Workers: workers, CacheEntries: entries})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := coord.RunWorker(ctx, coord.WorkerConfig{
+		URL:      url,
+		Name:     name,
+		Engine:   engine,
+		Poll:     poll,
+		IdleExit: idleExit,
+		Logf:     log.Printf,
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// runMerge collapses hand-sharded stores into one canonical store.
+func runMerge(specPath, dir, srcs string) error {
+	if specPath == "" {
+		return errors.New("-spec is required")
+	}
+	if dir == "" {
+		return errors.New("-merge needs an explicit -dir for the merged store")
+	}
+	spec, err := readSpec(specPath)
+	if err != nil {
+		return err
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		return err
+	}
+	store, err := openStore(dir, spec, len(cells), true)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	for _, src := range strings.Split(srcs, ",") {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		merged, skipped, err := sweep.MergeStore(store, src)
+		if err != nil {
+			return err
+		}
+		log.Printf("merged %s: %d record(s) appended, %d duplicate(s) skipped", src, merged, skipped)
+	}
+	log.Printf("%s now holds %d/%d completed cells", dir, len(store.Completed()), len(cells))
+	return nil
 }
 
 func run(specPath, dir string, resume bool, workers, entries int, shard string, every time.Duration) error {
@@ -86,10 +164,9 @@ func run(specPath, dir string, resume bool, workers, entries int, shard string, 
 
 	var lastPrint time.Time
 	runner := &sweep.Runner{
-		Engine:     engine,
-		Store:      store,
-		ShardIndex: shardIdx,
-		ShardCount: shardN,
+		Engine:  engine,
+		Store:   store,
+		Indexes: sweep.ShardIndexes(len(cells), shardIdx, shardN),
 		OnProgress: func(p sweep.Progress) {
 			if every <= 0 || time.Since(lastPrint) < every {
 				return

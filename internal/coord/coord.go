@@ -1,0 +1,528 @@
+// Package coord distributes one sweep across worker processes: a
+// Coordinator owns the sweep's canonical store, partitions its
+// incomplete cells into shards, and leases shards (explicit cell-index
+// sets) to workers over HTTP with a TTL. Workers heartbeat to keep a
+// lease alive and upload their NDJSON records on completion; the
+// coordinator merges uploads into the store (dedup by cell key,
+// last-ok-wins), expires stale leases, and re-assigns their shards —
+// a killed worker costs only its in-flight shard, never the sweep.
+//
+// The Hub aggregates the live coordinators of a server, serves the
+// /coord API, and plugs into sweep.Manager as its Distributor.
+package coord
+
+import (
+	"errors"
+	"fmt"
+
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// ErrStale reports that a worker acted on a lease it no longer holds —
+// the shard expired, was re-assigned, or the sweep is over. Workers
+// abandon the shard on seeing it; it is never a server fault.
+var ErrStale = errors.New("coord: stale lease")
+
+// Defaults for Config zero values.
+const (
+	DefaultShardSize = 8
+	DefaultTTL       = 30 * time.Second
+	DefaultMaxLeases = 5
+)
+
+// Config shapes shard partitioning and lease lifetimes for every
+// coordinator a hub creates.
+type Config struct {
+	// ShardSize is the number of cells per leasable shard (0 =
+	// DefaultShardSize). Smaller shards re-assign less work when a
+	// worker dies but cost more round-trips.
+	ShardSize int
+	// TTL is how long a lease lives without a heartbeat (0 =
+	// DefaultTTL).
+	TTL time.Duration
+	// MaxLeases bounds how often one shard may be handed out (0 =
+	// DefaultMaxLeases). A shard that exhausts it fails the sweep
+	// terminally: something is systematically wrong (oversized uploads,
+	// version-skewed workers, a poisonous cell), and failing loudly
+	// beats re-leasing the same shard forever while the sweep reads
+	// "running".
+	MaxLeases int
+}
+
+func (c Config) shardSize() int {
+	if c.ShardSize <= 0 {
+		return DefaultShardSize
+	}
+	return c.ShardSize
+}
+
+func (c Config) ttl() time.Duration {
+	if c.TTL <= 0 {
+		return DefaultTTL
+	}
+	return c.TTL
+}
+
+func (c Config) maxLeases() int {
+	if c.MaxLeases <= 0 {
+		return DefaultMaxLeases
+	}
+	return c.MaxLeases
+}
+
+// shardState is a shard's position in the lease lifecycle.
+type shardState int
+
+const (
+	shardPending shardState = iota // waiting for a worker
+	shardLeased                    // held by a worker, TTL running
+	shardDone                      // records merged
+)
+
+// shard is one leasable unit of work: an explicit set of cell indexes.
+type shard struct {
+	id      int
+	indexes []int
+	state   shardState
+	worker  string
+	expires time.Time
+	leases  int // times handed out (re-assignment shows as >1)
+}
+
+// cellOutcome tracks per-cell merge state so progress counts each cell
+// once across duplicate uploads and failed-then-ok sequences.
+type cellOutcome int
+
+const (
+	cellPendingOutcome cellOutcome = iota
+	cellFailed
+	cellOK
+)
+
+// Coordinator owns one distributed sweep: the spec, the canonical
+// store, and the shard lease table. It implements sweep.DistributedRun.
+type Coordinator struct {
+	id        string
+	spec      sweep.Spec
+	store     *sweep.Store
+	ttl       time.Duration
+	maxLeases int
+	counters  *metrics.CoordCounters
+	onProg    func(sweep.Progress)
+
+	mu         sync.Mutex
+	shards     []*shard
+	cells      map[string]cellOutcome // cell key → merge outcome
+	keyByIndex map[int]string         // cell index → cell key
+	prog       sweep.Progress
+	gm         sweep.Geo
+	closed     bool
+	done       chan struct{}
+}
+
+// NewCoordinator partitions the sweep's incomplete cells into shards
+// of cfg.ShardSize and returns a coordinator ready to lease them.
+// Cells already complete in the store are skipped (and seed the
+// geomean), so resuming a killed distributed sweep re-runs only the
+// missing cells. A sweep with nothing left finishes immediately.
+func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) *Coordinator {
+	if counters == nil {
+		counters = &metrics.CoordCounters{}
+	}
+	c := &Coordinator{
+		id:         id,
+		spec:       spec,
+		store:      store,
+		ttl:        cfg.ttl(),
+		maxLeases:  cfg.maxLeases(),
+		counters:   counters,
+		onProg:     onProgress,
+		cells:      make(map[string]cellOutcome, len(cells)),
+		keyByIndex: make(map[int]string, len(cells)),
+		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
+		done:       make(chan struct{}),
+	}
+	completed := store.Completed()
+	var todo []int
+	for _, cell := range cells {
+		key := cell.Key()
+		c.keyByIndex[cell.Index] = key
+		if ipc, ok := completed[key]; ok {
+			c.cells[key] = cellOK
+			c.prog.Done++
+			c.prog.Skipped++
+			c.gm.Add(ipc)
+			continue
+		}
+		c.cells[key] = cellPendingOutcome
+		todo = append(todo, cell.Index)
+	}
+	size := cfg.shardSize()
+	for start := 0; start < len(todo); start += size {
+		end := start + size
+		if end > len(todo) {
+			end = len(todo)
+		}
+		c.shards = append(c.shards, &shard{id: len(c.shards), indexes: todo[start:end]})
+	}
+	c.mu.Lock()
+	if len(c.shards) == 0 {
+		c.finishLocked(sweep.StateDone, "")
+	}
+	c.notifyLocked()
+	c.mu.Unlock()
+	return c
+}
+
+// ID returns the sweep run identifier the coordinator serves.
+func (c *Coordinator) ID() string { return c.id }
+
+// Done is closed when the sweep reaches a terminal state.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Progress snapshots the sweep.
+func (c *Coordinator) Progress() sweep.Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.prog
+	p.GeoMeanIPC = c.gm.Mean()
+	return p
+}
+
+// Cancel terminates the sweep: pending shards are dropped and every
+// subsequent lease, heartbeat or complete answers stale. Records
+// merged so far stay in the store, so re-posting the spec resumes.
+func (c *Coordinator) Cancel() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.finishLocked(sweep.StateCancelled, "")
+		c.notifyLocked()
+	}
+}
+
+// Lease hands the worker a pending shard, reclaiming expired leases
+// first — expiry happens only here (on demand, when someone actually
+// wants the work), so a lease past its TTL whose worker is merely slow
+// survives until another worker asks. The granted index set is
+// filtered to cells without a stored success, so a re-lease after a
+// partial stale upload re-runs only what is missing. ok is false when
+// nothing is pending right now — either the sweep is finished, or
+// every remaining shard is leased out and the worker should retry
+// after a poll interval.
+func (c *Coordinator) Lease(worker string) (l Lease, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Lease{}, false
+	}
+	c.expireLocked(time.Now())
+	for _, sh := range c.shards {
+		if sh.state != shardPending {
+			continue
+		}
+		indexes := []int{}
+		for _, idx := range sh.indexes {
+			if c.cells[c.keyByIndex[idx]] != cellOK {
+				indexes = append(indexes, idx)
+			}
+		}
+		if len(indexes) == 0 {
+			// Stale uploads filled the shard in while it sat pending.
+			c.retireShardLocked(sh)
+			if c.allDoneLocked() {
+				c.finishLocked(sweep.StateDone, "")
+				c.notifyLocked()
+				return Lease{}, false
+			}
+			continue
+		}
+		if sh.leases >= c.maxLeases {
+			// Every holder of this shard vanished or failed to upload.
+			// Re-leasing it forever would livelock the sweep as
+			// "running"; fail terminally instead so the manager, the
+			// workers (idle-exit) and CI all see a verdict.
+			c.finishLocked(sweep.StateFailed, fmt.Sprintf(
+				"coord: shard %d not completed after %d leases; giving up", sh.id, sh.leases))
+			c.notifyLocked()
+			return Lease{}, false
+		}
+		sh.state = shardLeased
+		sh.worker = worker
+		sh.expires = time.Now().Add(c.ttl)
+		sh.leases++
+		c.counters.LeasesGranted.Inc()
+		if sh.leases > 1 {
+			c.counters.ShardsReassigned.Inc()
+		}
+		return Lease{
+			Sweep:   c.id,
+			Shard:   sh.id,
+			Indexes: indexes,
+			Spec:    c.spec,
+			TTL:     c.ttl,
+		}, true
+	}
+	return Lease{}, false
+}
+
+// Heartbeat renews the worker's lease on a shard. A false return means
+// the lease is stale — the shard was reclaimed, re-assigned, or the
+// sweep is over — and the worker should abandon the shard.
+// Deliberately no expiry sweep here: a heartbeat that was merely
+// delayed (slow network, or queued behind a long merge on the
+// coordinator mutex) revives a past-TTL lease as long as nothing has
+// reclaimed the shard yet, instead of killing a healthy worker.
+func (c *Coordinator) Heartbeat(worker string, shardID int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || shardID < 0 || shardID >= len(c.shards) {
+		c.counters.StaleAcks.Inc()
+		return false
+	}
+	sh := c.shards[shardID]
+	if sh.state != shardLeased || sh.worker != worker {
+		c.counters.StaleAcks.Inc()
+		return false
+	}
+	sh.expires = time.Now().Add(c.ttl)
+	return true
+}
+
+// Complete merges a worker's shard records into the canonical store
+// and — when the worker still holds the shard's lease — marks the
+// shard done. Records for cells that already have a stored success are
+// dropped (dedup, last-ok-wins), so a stale complete — the shard
+// expired and was re-run elsewhere — cannot duplicate cells; its
+// records still merge, but only the current lessee's ack (or every
+// cell of the shard reaching a stored success) may retire the shard,
+// so a mis-addressed or stale upload can never finish a shard whose
+// cells were not run. When the last shard retires, Done closes.
+func (c *Coordinator) Complete(worker string, shardID int, recs []sweep.CellRecord) (merged, skipped int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || shardID < 0 || shardID >= len(c.shards) {
+		c.counters.StaleAcks.Inc()
+		return 0, len(recs), ErrStale
+	}
+	// No expiry sweep here (mirroring Heartbeat): a holder past its TTL
+	// whose shard nothing reclaimed yet still gets to retire it.
+	sh := c.shards[shardID]
+	holder := sh.state == shardLeased && sh.worker == worker
+	if !holder {
+		// The lease moved on (expired, re-assigned, or already acked).
+		// The work is real, though: merge it, count the staleness.
+		c.counters.StaleAcks.Inc()
+	}
+	merged, skipped, err = c.mergeLocked(recs)
+	if err != nil {
+		c.finishLocked(sweep.StateFailed, err.Error())
+		c.notifyLocked()
+		return merged, skipped, err
+	}
+	if holder && c.shardSettledLocked(sh) {
+		// Retire only when every cell of the shard has an outcome: an
+		// ack that skipped cells (a buggy worker) must not lose them —
+		// the shard stays leased, expires, and the missing cells
+		// re-assign.
+		c.retireShardLocked(sh)
+	}
+	c.promoteShardsLocked()
+	if c.allDoneLocked() {
+		c.finishLocked(sweep.StateDone, "")
+	}
+	c.notifyLocked()
+	return merged, skipped, nil
+}
+
+// shardSettledLocked reports whether every cell of the shard has a
+// recorded outcome (ok or failed).
+func (c *Coordinator) shardSettledLocked(sh *shard) bool {
+	for _, idx := range sh.indexes {
+		if c.cells[c.keyByIndex[idx]] == cellPendingOutcome {
+			return false
+		}
+	}
+	return true
+}
+
+// retireShardLocked marks one shard done.
+func (c *Coordinator) retireShardLocked(sh *shard) {
+	if sh.state != shardDone {
+		sh.state = shardDone
+		sh.worker = ""
+		c.counters.ShardsCompleted.Inc()
+	}
+}
+
+// promoteShardsLocked retires any shard whose every cell already has a
+// stored success — a stale upload can land the last missing cells of a
+// shard that meanwhile expired or was re-leased, and re-running such a
+// shard would be pure waste (its records would all dedup away).
+func (c *Coordinator) promoteShardsLocked() {
+	for _, sh := range c.shards {
+		if sh.state == shardDone {
+			continue
+		}
+		allOK := true
+		for _, idx := range sh.indexes {
+			if c.cells[c.keyByIndex[idx]] != cellOK {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			c.retireShardLocked(sh)
+		}
+	}
+}
+
+// mergeLocked appends records into the store and folds each cell's
+// transition into the progress counts: first failure counts the cell
+// failed, the first success counts it done (and un-counts a prior
+// failure — last ok wins). Records that cannot change a cell's state —
+// duplicate successes, and repeat failures for an already-failed cell
+// (a retried upload whose first attempt's response was lost) — are
+// dropped before touching the store, so completes are idempotent and
+// the NDJSON log gains no duplicate lines. Unknown keys merge into the
+// store but not the counts, so a foreign record cannot inflate Done
+// past Total.
+func (c *Coordinator) mergeLocked(recs []sweep.CellRecord) (merged, skipped int, err error) {
+	fresh := recs[:0:0]
+	for _, rec := range recs {
+		state, known := c.cells[rec.Key]
+		if known && (state == cellOK || (state == cellFailed && rec.Status == sweep.StatusFailed)) {
+			skipped++
+			continue
+		}
+		fresh = append(fresh, rec)
+	}
+	merged, dup, err := c.store.Merge(fresh)
+	skipped += dup
+	c.counters.RecordsMerged.Add(uint64(merged))
+	c.counters.RecordsDeduped.Add(uint64(skipped))
+	if err != nil {
+		return merged, skipped, err
+	}
+	for _, rec := range fresh {
+		state, known := c.cells[rec.Key]
+		if !known || state == cellOK {
+			continue
+		}
+		switch rec.Status {
+		case sweep.StatusOK:
+			if state == cellFailed {
+				c.prog.Failed--
+			}
+			c.cells[rec.Key] = cellOK
+			c.prog.Done++
+			c.prog.Executed++
+			c.gm.Add(rec.IPC)
+		case sweep.StatusFailed:
+			if state == cellPendingOutcome {
+				c.cells[rec.Key] = cellFailed
+				c.prog.Failed++
+				c.prog.Executed++
+			}
+		}
+	}
+	return merged, skipped, nil
+}
+
+// Snapshot is the JSON view of a coordinator for /coord/status. The
+// shard-table fields carry a "shards_" prefix so they cannot shadow
+// the embedded Progress's cell-level done/total in the JSON.
+type Snapshot struct {
+	Sweep         string `json:"sweep"`
+	Name          string `json:"name"`
+	Shards        int    `json:"shards"`
+	PendingShards int    `json:"shards_pending"`
+	LeasedShards  int    `json:"shards_leased"`
+	DoneShards    int    `json:"shards_done"`
+	sweep.Progress
+}
+
+// Snapshot summarises the shard table and progress. It is a pure
+// read: a past-TTL lease still shows as leased until a Lease call
+// reclaims it.
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Sweep: c.id, Name: c.spec.Name, Shards: len(c.shards)}
+	for _, sh := range c.shards {
+		switch sh.state {
+		case shardPending:
+			s.PendingShards++
+		case shardLeased:
+			s.LeasedShards++
+		case shardDone:
+			s.DoneShards++
+		}
+	}
+	s.Progress = c.prog
+	s.Progress.GeoMeanIPC = c.gm.Mean()
+	return s
+}
+
+// expireLocked returns shards whose lease TTL lapsed to the pending
+// pool. It runs only from Lease — reclaim on demand — so a slow but
+// alive holder keeps its lease (and can heartbeat it back to life, or
+// retire it) until a competing worker actually needs the work.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, sh := range c.shards {
+		if sh.state == shardLeased && now.After(sh.expires) {
+			sh.state = shardPending
+			sh.worker = ""
+			c.counters.LeasesExpired.Inc()
+		}
+	}
+}
+
+func (c *Coordinator) allDoneLocked() bool {
+	for _, sh := range c.shards {
+		if sh.state != shardDone {
+			return false
+		}
+	}
+	return true
+}
+
+// finishLocked moves the sweep to a terminal state exactly once.
+func (c *Coordinator) finishLocked(state sweep.State, errMsg string) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.prog.State = state
+	if errMsg != "" {
+		c.prog.Error = errMsg
+	}
+	close(c.done)
+}
+
+// notifyLocked delivers the current progress to the observer while
+// holding the lock, so deliveries are ordered (the manager differences
+// successive snapshots).
+func (c *Coordinator) notifyLocked() {
+	if c.onProg == nil {
+		return
+	}
+	p := c.prog
+	p.GeoMeanIPC = c.gm.Mean()
+	c.onProg(p)
+}
+
+// Lease is one granted shard: the sweep it belongs to, the explicit
+// cell-index set to run, the spec to expand them from, and how long
+// the worker has before it must heartbeat.
+type Lease struct {
+	Sweep   string        `json:"sweep"`
+	Shard   int           `json:"shard"`
+	Indexes []int         `json:"indexes"`
+	Spec    sweep.Spec    `json:"spec"`
+	TTL     time.Duration `json:"-"`
+}

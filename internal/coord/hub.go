@@ -1,0 +1,275 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// Body limits: control messages are tiny; a complete carries a whole
+// shard's records (payloads included).
+const (
+	maxControlBytes  = 1 << 16
+	maxCompleteBytes = 64 << 20
+)
+
+// Hub aggregates the live coordinators of one server, serves the
+// /coord HTTP API to workers, and acts as the sweep manager's
+// Distributor: a spec with "distributed": true is handed here instead
+// of the in-process runner.
+type Hub struct {
+	cfg      Config
+	counters metrics.CoordCounters
+
+	mu     sync.Mutex
+	coords map[string]*Coordinator
+	order  []string
+}
+
+// NewHub builds a hub; cfg applies to every coordinator it creates.
+func NewHub(cfg Config) *Hub {
+	return &Hub{cfg: cfg, coords: map[string]*Coordinator{}}
+}
+
+// Distribute implements sweep.Distributor: it stands up a coordinator
+// for the sweep, registers it for leasing, and unregisters it when it
+// finishes.
+func (h *Hub) Distribute(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, onProgress func(sweep.Progress)) (sweep.DistributedRun, error) {
+	c := NewCoordinator(id, spec, cells, store, h.cfg, &h.counters, onProgress)
+	h.mu.Lock()
+	h.coords[id] = c
+	h.order = append(h.order, id)
+	h.mu.Unlock()
+	go func() {
+		<-c.Done()
+		h.mu.Lock()
+		delete(h.coords, id)
+		for i, cid := range h.order {
+			if cid == id {
+				h.order = append(h.order[:i], h.order[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+	}()
+	return c, nil
+}
+
+// get returns the live coordinator for a sweep id.
+func (h *Hub) get(id string) (*Coordinator, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.coords[id]
+	return c, ok
+}
+
+// list snapshots the live coordinators in registration order.
+func (h *Hub) list() []*Coordinator {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Coordinator, 0, len(h.order))
+	for _, id := range h.order {
+		if c, ok := h.coords[id]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// lease scans the live coordinators in order for a pending shard.
+// active reports whether any coordinator exists at all — workers use
+// the distinction to tell "retry soon" from "nothing to do".
+func (h *Hub) lease(worker string) (l Lease, ok, active bool) {
+	coords := h.list()
+	for _, c := range coords {
+		if l, ok := c.Lease(worker); ok {
+			return l, true, true
+		}
+	}
+	return Lease{}, false, len(coords) > 0
+}
+
+// HubMetrics is the hub's /metrics payload: the shared coordinator
+// counters (field names come from CoordSnapshot's JSON tags) plus the
+// number of live distributed sweeps.
+type HubMetrics struct {
+	Active int `json:"active"`
+	metrics.CoordSnapshot
+}
+
+// MetricsSnapshot reports the coordinator counters plus the number of
+// live distributed sweeps (for /metrics and /healthz).
+func (h *Hub) MetricsSnapshot() HubMetrics {
+	h.mu.Lock()
+	active := len(h.coords)
+	h.mu.Unlock()
+	return HubMetrics{Active: active, CoordSnapshot: h.counters.Snapshot()}
+}
+
+// Lease statuses on the wire.
+const (
+	statusShard = "shard" // a lease was granted
+	statusRetry = "retry" // work exists but every shard is leased out
+	statusIdle  = "idle"  // no distributed sweep is live
+	statusOK    = "ok"
+	statusStale = "stale" // lease no longer held; abandon the shard
+)
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	Status  string      `json:"status"`
+	RetryMS int64       `json:"retry_ms,omitempty"`
+	Sweep   string      `json:"sweep,omitempty"`
+	Shard   int         `json:"shard,omitempty"`
+	Indexes []int       `json:"indexes,omitempty"`
+	Spec    *sweep.Spec `json:"spec,omitempty"`
+	TTLMS   int64       `json:"ttl_ms,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Sweep  string `json:"sweep"`
+	Shard  int    `json:"shard"`
+}
+
+type heartbeatResponse struct {
+	Status string `json:"status"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+type completeRequest struct {
+	Worker  string             `json:"worker"`
+	Sweep   string             `json:"sweep"`
+	Shard   int                `json:"shard"`
+	Records []sweep.CellRecord `json:"records"`
+}
+
+type completeResponse struct {
+	Status  string `json:"status"`
+	Merged  int    `json:"merged"`
+	Skipped int    `json:"skipped"`
+}
+
+// Handler serves the coordinator API:
+//
+//	POST /coord/lease     — acquire a shard lease ({"worker": id})
+//	POST /coord/heartbeat — renew a lease; "stale" means abandon
+//	POST /coord/complete  — upload a shard's records and ack it
+//	GET  /coord/status    — shard tables of every live sweep
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /coord/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := decodeBody(r, maxControlBytes, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Worker == "" {
+			httpError(w, http.StatusBadRequest, errors.New("coord: lease needs a worker name"))
+			return
+		}
+		l, ok, active := h.lease(req.Worker)
+		switch {
+		case ok:
+			writeJSON(w, http.StatusOK, leaseResponse{
+				Status:  statusShard,
+				Sweep:   l.Sweep,
+				Shard:   l.Shard,
+				Indexes: l.Indexes,
+				Spec:    &l.Spec,
+				TTLMS:   l.TTL.Milliseconds(),
+			})
+		case active:
+			writeJSON(w, http.StatusOK, leaseResponse{Status: statusRetry, RetryMS: 500})
+		default:
+			writeJSON(w, http.StatusOK, leaseResponse{Status: statusIdle, RetryMS: 1000})
+		}
+	})
+
+	mux.HandleFunc("POST /coord/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if err := decodeBody(r, maxControlBytes, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		c, ok := h.get(req.Sweep)
+		if !ok || !c.Heartbeat(req.Worker, req.Shard) {
+			writeJSON(w, http.StatusOK, heartbeatResponse{Status: statusStale})
+			return
+		}
+		writeJSON(w, http.StatusOK, heartbeatResponse{Status: statusOK, TTLMS: h.cfg.ttl().Milliseconds()})
+	})
+
+	mux.HandleFunc("POST /coord/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := decodeBody(r, maxCompleteBytes, &req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		c, ok := h.get(req.Sweep)
+		if !ok {
+			// The sweep finished or was cancelled; the records have
+			// nowhere to go, which is fine — their cells are either
+			// already stored or intentionally dropped.
+			writeJSON(w, http.StatusOK, completeResponse{Status: statusStale, Skipped: len(req.Records)})
+			return
+		}
+		merged, skipped, err := c.Complete(req.Worker, req.Shard, req.Records)
+		if errors.Is(err, ErrStale) {
+			writeJSON(w, http.StatusOK, completeResponse{Status: statusStale, Skipped: len(req.Records)})
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, completeResponse{Status: statusOK, Merged: merged, Skipped: skipped})
+	})
+
+	mux.HandleFunc("GET /coord/status", func(w http.ResponseWriter, r *http.Request) {
+		coords := h.list()
+		out := make([]Snapshot, 0, len(coords))
+		for _, c := range coords {
+			out = append(out, c.Snapshot())
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Sweeps   []Snapshot `json:"sweeps"`
+			Counters HubMetrics `json:"counters"`
+		}{out, h.MetricsSnapshot()})
+	})
+	return mux
+}
+
+func decodeBody(r *http.Request, limit int64, v any) error {
+	if err := httpx.DecodeStrict(r, limit, v); err != nil {
+		return fmt.Errorf("coord: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) { httpx.WriteJSON(w, code, v) }
+
+func httpError(w http.ResponseWriter, code int, err error) { httpx.Error(w, code, err) }
+
+// leaseFromResponse converts a wire lease back to the internal form.
+func leaseFromResponse(resp leaseResponse) (Lease, error) {
+	if resp.Spec == nil {
+		return Lease{}, errors.New("coord: lease response missing spec")
+	}
+	return Lease{
+		Sweep:   resp.Sweep,
+		Shard:   resp.Shard,
+		Indexes: resp.Indexes,
+		Spec:    *resp.Spec,
+		TTL:     time.Duration(resp.TTLMS) * time.Millisecond,
+	}, nil
+}

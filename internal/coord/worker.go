@@ -1,0 +1,292 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sweep"
+)
+
+// WorkerConfig shapes one worker loop.
+type WorkerConfig struct {
+	// URL is the coordinator base URL (http://host:port).
+	URL string
+	// Name identifies the worker in leases (default hostname-pid).
+	Name string
+	// Engine executes the leased cells (required).
+	Engine *service.Engine
+	// Parallelism bounds concurrently submitted cells per shard
+	// (0 = the runner default).
+	Parallelism int
+	// Poll is the sleep between lease attempts when no shard is
+	// available (0 = 500ms).
+	Poll time.Duration
+	// IdleExit, when positive, makes the worker exit cleanly after the
+	// coordinator has reported no live sweeps (or been unreachable) for
+	// this long. Zero polls forever — the daemon mode.
+	IdleExit time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Logf receives progress lines (default log-less).
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (c WorkerConfig) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Poll
+}
+
+func (c WorkerConfig) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c WorkerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunWorker loops leasing shards from the coordinator and executing
+// them through the engine until ctx is cancelled or — with IdleExit
+// set — the coordinator stays idle long enough. Each leased shard runs
+// through the ordinary sweep.Runner against an in-memory sink, with a
+// background heartbeat keeping the lease alive; the collected records
+// upload via /coord/complete. A shard whose heartbeat goes stale is
+// abandoned mid-run: the coordinator has already re-assigned it.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Engine == nil {
+		return errors.New("coord: worker needs an engine")
+	}
+	w := &worker{
+		cfg:  cfg,
+		name: cfg.name(),
+		base: strings.TrimRight(cfg.URL, "/"),
+	}
+	var idleSince time.Time
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.lease(ctx)
+		idle := false
+		sleep := cfg.poll()
+		// The coordinator hints how soon polling again is useful
+		// (longer when idle than when shards are merely all leased out);
+		// honor it when it is the more patient of the two.
+		if hint := time.Duration(resp.RetryMS) * time.Millisecond; hint > sleep {
+			sleep = hint
+		}
+		switch {
+		case err != nil:
+			// Coordinator unreachable: with IdleExit this eventually
+			// stops the worker, without it we keep knocking.
+			w.cfg.logf("lease: %v", err)
+			idle = true
+		case resp.Status == statusShard:
+			l, lerr := leaseFromResponse(resp)
+			if lerr != nil {
+				w.cfg.logf("lease: %v", lerr)
+				idle = true
+				break
+			}
+			idleSince = time.Time{}
+			if w.runShard(ctx, l) {
+				continue // immediately ask for the next shard
+			}
+			// The shard was abandoned (stale lease, bad spec, failed
+			// upload). Fall through to the poll sleep: leasing again at
+			// HTTP speed would just park every pending shard for a TTL.
+		case resp.Status == statusIdle:
+			idle = true
+		}
+		if idle && cfg.IdleExit > 0 {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			} else if time.Since(idleSince) >= cfg.IdleExit {
+				w.cfg.logf("idle for %s, exiting", cfg.IdleExit)
+				return nil
+			}
+		}
+		if !idle {
+			idleSince = time.Time{}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sleep):
+		}
+	}
+}
+
+type worker struct {
+	cfg  WorkerConfig
+	name string
+	base string
+}
+
+// runShard executes one leased shard and uploads its records,
+// reporting whether the shard was acked (false = abandoned: the lease
+// expires and the shard re-assigns).
+func (w *worker) runShard(ctx context.Context, l Lease) bool {
+	cells, err := l.Spec.Expand()
+	if err != nil {
+		// Version skew: this worker cannot expand the coordinator's
+		// spec. Abandon the lease (it expires and re-assigns) rather
+		// than acking an empty shard and losing its cells.
+		w.cfg.logf("shard %s/%d: cannot expand spec: %v", l.Sweep, l.Shard, err)
+		return false
+	}
+	w.cfg.logf("leased shard %s/%d (%d cells)", l.Sweep, l.Shard, len(l.Indexes))
+
+	// Heartbeat until the shard finishes; a stale answer cancels the
+	// shard's context so the runner stops submitting cells.
+	shardCtx, cancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	stale := false
+	go func() {
+		defer close(hbDone)
+		interval := l.TTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-time.After(interval):
+			}
+			ok, err := w.heartbeat(shardCtx, l)
+			if err != nil {
+				w.cfg.logf("heartbeat %s/%d: %v", l.Sweep, l.Shard, err)
+				continue
+			}
+			if !ok {
+				stale = true
+				cancel()
+				return
+			}
+		}
+	}()
+
+	mem := &sweep.MemStore{}
+	runner := &sweep.Runner{
+		Engine:      w.cfg.Engine,
+		Store:       mem,
+		Parallelism: w.cfg.Parallelism,
+		Indexes:     l.Indexes,
+	}
+	final, runErr := runner.Run(shardCtx, cells)
+	cancel()
+	<-hbDone
+	if runErr != nil {
+		w.cfg.logf("shard %s/%d: %v", l.Sweep, l.Shard, runErr)
+		return false
+	}
+	if ctx.Err() != nil {
+		// Shutting down; the records die with the process.
+		w.cfg.logf("shard %s/%d abandoned (shutdown)", l.Sweep, l.Shard)
+		return false
+	}
+	if stale || final.State == sweep.StateCancelled {
+		// The lease moved on before the shard finished, but the cells
+		// that did finish are real work: upload them best-effort — the
+		// coordinator's stale-merge path accepts and dedups them, and
+		// the re-assignee's lease then excludes those cells.
+		if recs := mem.Records(); len(recs) > 0 {
+			if err := w.complete(ctx, l, recs); err != nil {
+				w.cfg.logf("shard %s/%d: partial upload failed: %v", l.Sweep, l.Shard, err)
+			}
+		}
+		w.cfg.logf("shard %s/%d abandoned (stale lease), %d partial record(s) uploaded", l.Sweep, l.Shard, len(mem.Records()))
+		return false
+	}
+	if err := w.complete(ctx, l, mem.Records()); err != nil {
+		w.cfg.logf("complete %s/%d: %v (lease will expire and re-assign)", l.Sweep, l.Shard, err)
+		return false
+	}
+	w.cfg.logf("completed shard %s/%d: %d done, %d failed", l.Sweep, l.Shard, final.Done, final.Failed)
+	return true
+}
+
+func (w *worker) lease(ctx context.Context) (leaseResponse, error) {
+	var resp leaseResponse
+	err := w.post(ctx, "/coord/lease", leaseRequest{Worker: w.name}, &resp)
+	return resp, err
+}
+
+func (w *worker) heartbeat(ctx context.Context, l Lease) (ok bool, err error) {
+	var resp heartbeatResponse
+	if err := w.post(ctx, "/coord/heartbeat", heartbeatRequest{Worker: w.name, Sweep: l.Sweep, Shard: l.Shard}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Status == statusOK, nil
+}
+
+// complete uploads the shard's records, retrying transient transport
+// errors — losing an upload only costs a lease TTL, but retrying is
+// much cheaper than re-simulating the shard elsewhere.
+func (w *worker) complete(ctx context.Context, l Lease, recs []sweep.CellRecord) error {
+	req := completeRequest{Worker: w.name, Sweep: l.Sweep, Shard: l.Shard, Records: recs}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 500 * time.Millisecond):
+			}
+		}
+		var resp completeResponse
+		if err = w.post(ctx, "/coord/complete", req, &resp); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (w *worker) post(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("coord: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

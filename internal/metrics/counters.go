@@ -50,6 +50,47 @@ func (c *SweepCounters) Snapshot() SweepSnapshot {
 	}
 }
 
+// CoordCounters track the distributed sweep coordinator: shard leases
+// granted, leases expired (worker presumed dead), shards re-assigned
+// after expiry, shards acked complete, plus the record merge outcomes
+// (merged into the canonical store vs dropped as duplicates) and
+// stale acks (a complete or heartbeat from a worker whose lease was
+// already expired or re-assigned).
+type CoordCounters struct {
+	LeasesGranted    Counter
+	LeasesExpired    Counter
+	ShardsReassigned Counter
+	ShardsCompleted  Counter
+	RecordsMerged    Counter
+	RecordsDeduped   Counter
+	StaleAcks        Counter
+}
+
+// CoordSnapshot is a point-in-time, JSON-serializable view of
+// CoordCounters.
+type CoordSnapshot struct {
+	LeasesGranted    uint64 `json:"leases_granted"`
+	LeasesExpired    uint64 `json:"leases_expired"`
+	ShardsReassigned uint64 `json:"shards_reassigned"`
+	ShardsCompleted  uint64 `json:"shards_completed"`
+	RecordsMerged    uint64 `json:"records_merged"`
+	RecordsDeduped   uint64 `json:"records_deduped"`
+	StaleAcks        uint64 `json:"stale_acks"`
+}
+
+// Snapshot captures the current values.
+func (c *CoordCounters) Snapshot() CoordSnapshot {
+	return CoordSnapshot{
+		LeasesGranted:    c.LeasesGranted.Value(),
+		LeasesExpired:    c.LeasesExpired.Value(),
+		ShardsReassigned: c.ShardsReassigned.Value(),
+		ShardsCompleted:  c.ShardsCompleted.Value(),
+		RecordsMerged:    c.RecordsMerged.Value(),
+		RecordsDeduped:   c.RecordsDeduped.Value(),
+		StaleAcks:        c.StaleAcks.Value(),
+	}
+}
+
 // CacheSnapshot is a point-in-time, JSON-serializable view of
 // CacheCounters.
 type CacheSnapshot struct {

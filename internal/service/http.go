@@ -1,11 +1,10 @@
 package service
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
+
+	"repro/internal/httpx"
 )
 
 // maxBodyBytes bounds request bodies; specs are tiny.
@@ -126,30 +125,13 @@ func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
 
 func decodeSpec(w http.ResponseWriter, r *http.Request) (Spec, bool) {
 	var spec Spec
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
-		return Spec{}, false
-	}
-	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-		httpError(w, http.StatusBadRequest, errors.New("service: trailing data after spec"))
+	if err := httpx.DecodeStrict(r, maxBodyBytes, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("service: %w", err))
 		return Spec{}, false
 	}
 	return spec, true
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing to do but note it for the log.
-		return
-	}
-}
+func writeJSON(w http.ResponseWriter, code int, v any) { httpx.WriteJSON(w, code, v) }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, struct {
-		Error string `json:"error"`
-	}{err.Error()})
-}
+func httpError(w http.ResponseWriter, code int, err error) { httpx.Error(w, code, err) }

@@ -2,7 +2,6 @@ package sweep
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/internal/service"
 )
@@ -23,6 +23,7 @@ type Manager struct {
 	engine      *service.Engine
 	dir         string
 	parallelism int
+	dist        Distributor
 
 	mu       sync.Mutex
 	runs     map[string]*Run
@@ -49,6 +50,31 @@ func NewManager(e *service.Engine, dir string, parallelism int) *Manager {
 		maxRuns:     256,
 	}
 }
+
+// Distributor runs a sweep's cells on remote workers instead of the
+// local engine — implemented by the coordinator hub (internal/coord),
+// which leases shards to worker processes and merges their uploads
+// into the store. The interface lives here so sweep does not import
+// coord. onProgress deliveries must be ordered (invoked under the
+// distributor's lock), matching Runner.OnProgress semantics.
+type Distributor interface {
+	Distribute(id string, spec Spec, cells []Cell, store *Store, onProgress func(Progress)) (DistributedRun, error)
+}
+
+// DistributedRun is a handle on one distributed sweep execution.
+type DistributedRun interface {
+	// Done is closed when the run reaches a terminal state.
+	Done() <-chan struct{}
+	// Progress snapshots the run.
+	Progress() Progress
+	// Cancel stops the run: pending shards are dropped and in-flight
+	// leases answer stale.
+	Cancel()
+}
+
+// SetDistributor installs the coordinator hub that executes sweeps
+// whose spec sets "distributed": true. Call before serving requests.
+func (m *Manager) SetDistributor(d Distributor) { m.dist = d }
 
 // Run is one managed sweep execution.
 type Run struct {
@@ -78,21 +104,23 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 
 // Status is the JSON view of a managed sweep.
 type Status struct {
-	ID      string    `json:"id"`
-	Name    string    `json:"name"`
-	Dir     string    `json:"dir"`
-	Created time.Time `json:"created"`
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Dir         string    `json:"dir"`
+	Created     time.Time `json:"created"`
+	Distributed bool      `json:"distributed,omitempty"`
 	Progress
 }
 
 // Status snapshots the run for serving.
 func (r *Run) Status() Status {
 	return Status{
-		ID:       r.id,
-		Name:     r.spec.Name,
-		Dir:      r.store.Dir(),
-		Created:  r.created,
-		Progress: r.Progress(),
+		ID:          r.id,
+		Name:        r.spec.Name,
+		Dir:         r.store.Dir(),
+		Created:     r.created,
+		Distributed: r.spec.Distributed,
+		Progress:    r.Progress(),
 	}
 }
 
@@ -106,6 +134,9 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 	cells, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	if spec.Distributed && m.dist == nil {
+		return nil, fmt.Errorf("sweep: spec %q requests a distributed run but no coordinator is mounted", spec.Name)
 	}
 	key := spec.Key()
 
@@ -136,11 +167,13 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 	if err != nil {
 		// The directory already holds this sweep (an earlier run, or a
 		// run from before a server restart): resume it. The manifest
-		// pins the spec, so a key collision cannot mix sweeps.
+		// pins the spec, so a key collision cannot mix sweeps. If the
+		// resume fails too, both causes matter — the Open error is the
+		// actionable one, so it is the wrapped error.
 		var openErr error
 		store, openErr = Open(dir, spec)
 		if openErr != nil {
-			return nil, err
+			return nil, fmt.Errorf("sweep: start %q: create failed (%v); resume failed: %w", spec.Name, err, openErr)
 		}
 	}
 
@@ -170,28 +203,19 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 			delete(m.active, key)
 			m.mu.Unlock()
 		}()
-		var last Progress
-		runner := &Runner{
-			Engine:      m.engine,
-			Store:       store,
-			Parallelism: m.parallelism,
-			OnProgress: func(p Progress) {
-				// Deliveries are ordered (see Runner), so the deltas
-				// below are non-negative.
-				okCells := (p.Done - p.Skipped) - (last.Done - last.Skipped)
-				if okCells > 0 {
-					m.counters.CellsDone.Add(uint64(okCells))
-				}
-				if d := p.Failed - last.Failed; d > 0 {
-					m.counters.CellsFailed.Add(uint64(d))
-				}
-				last = p
-				run.mu.Lock()
-				run.prog = p
-				run.mu.Unlock()
-			},
+		var final Progress
+		var err error
+		if spec.Distributed {
+			final, err = m.runDistributed(ctx, run, spec, cells, store)
+		} else {
+			runner := &Runner{
+				Engine:      m.engine,
+				Store:       store,
+				Parallelism: m.parallelism,
+				OnProgress:  m.progressSink(run),
+			}
+			final, err = runner.Run(ctx, cells)
 		}
-		final, err := runner.Run(ctx, cells)
 		if err != nil && final.Error == "" {
 			final.Error = err.Error()
 		}
@@ -200,6 +224,53 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 		run.mu.Unlock()
 	}()
 	return run, nil
+}
+
+// progressSink builds the ordered progress observer shared by local
+// and distributed runs: it differences successive snapshots into the
+// manager-wide counters and mirrors the latest snapshot on the run.
+// The counters accumulate *events*, not final states: a cell that
+// fails, is re-assigned and then succeeds counts once in CellsFailed
+// and once in CellsDone (the coordinator's Progress.Failed decrement
+// is deliberately not mirrored — monotonic counters cannot go down).
+func (m *Manager) progressSink(run *Run) func(Progress) {
+	var last Progress
+	return func(p Progress) {
+		// Deliveries are ordered (see Runner.OnProgress), so the
+		// positive deltas below are meaningful; negative ones (a
+		// failed-then-ok re-assignment) are skipped by the > 0 guards.
+		okCells := (p.Done - p.Skipped) - (last.Done - last.Skipped)
+		if okCells > 0 {
+			m.counters.CellsDone.Add(uint64(okCells))
+		}
+		if d := p.Failed - last.Failed; d > 0 {
+			m.counters.CellsFailed.Add(uint64(d))
+		}
+		last = p
+		run.mu.Lock()
+		run.prog = p
+		run.mu.Unlock()
+	}
+}
+
+// runDistributed hands the sweep to the coordinator hub and waits for
+// it to finish (or for the run to be cancelled).
+func (m *Manager) runDistributed(ctx context.Context, run *Run, spec Spec, cells []Cell, store *Store) (Progress, error) {
+	d, err := m.dist.Distribute(run.id, spec, cells, store, m.progressSink(run))
+	if err != nil {
+		return Progress{State: StateFailed, Total: len(cells)}, err
+	}
+	select {
+	case <-d.Done():
+	case <-ctx.Done():
+		d.Cancel()
+		<-d.Done()
+	}
+	final := d.Progress()
+	if final.State == StateFailed && final.Error != "" {
+		return final, errors.New(final.Error)
+	}
+	return final, nil
 }
 
 // pruneRunsLocked evicts the oldest finished run records while over
@@ -294,14 +365,8 @@ func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
-		dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("sweep: bad spec: %w", err))
-			return
-		}
-		if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-			httpError(w, http.StatusBadRequest, errors.New("sweep: trailing data after spec"))
+		if err := httpx.DecodeStrict(r, maxSpecBytes, &spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sweep: %w", err))
 			return
 		}
 		run, err := m.Start(spec)
@@ -387,14 +452,6 @@ func (m *Manager) streamResults(w http.ResponseWriter, r *http.Request, run *Run
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
+func writeJSON(w http.ResponseWriter, code int, v any) { httpx.WriteJSON(w, code, v) }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, struct {
-		Error string `json:"error"`
-	}{err.Error()})
-}
+func httpError(w http.ResponseWriter, code int, err error) { httpx.Error(w, code, err) }

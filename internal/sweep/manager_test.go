@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManagerStartSurfacesBothStoreErrors pins the failure-path fix:
+// when the sweep directory can neither be created (a manifest already
+// exists) nor resumed (it pins a different spec), the error must carry
+// both causes instead of hiding the resume failure behind the create
+// one.
+func TestManagerStartSurfacesBothStoreErrors(t *testing.T) {
+	base := t.TempDir()
+	spec, _ := eightCells(t)
+
+	// Occupy the spec's store directory with a different sweep, so
+	// Create fails on the existing manifest and Open fails the spec-key
+	// check.
+	other := spec
+	other.Name = "squatter"
+	dir := filepath.Join(base, "sweep-"+spec.Key()[:16])
+	st, err := Create(dir, "other-id", other, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	m := NewManager(fakeEngine(0), base, 0)
+	_, err = m.Start(spec)
+	if err == nil {
+		t.Fatal("Start over a foreign store should fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "create failed") || !strings.Contains(msg, "not the requested spec") {
+		t.Errorf("error hides a cause: %v", err)
+	}
+}
+
+// TestManagerRejectsDistributedWithoutDistributor: a spec asking for
+// the coordinator on a server that has none must fail loudly, not run
+// locally by surprise.
+func TestManagerRejectsDistributedWithoutDistributor(t *testing.T) {
+	spec, _ := eightCells(t)
+	spec.Distributed = true
+	m := NewManager(fakeEngine(0), t.TempDir(), 0)
+	if _, err := m.Start(spec); err == nil || !strings.Contains(err.Error(), "no coordinator") {
+		t.Errorf("err = %v, want no-coordinator rejection", err)
+	}
+}
+
+// TestSpecKeyIgnoresDistributed: distributed is an execution knob —
+// the same grid run locally or through the coordinator must share one
+// store.
+func TestSpecKeyIgnoresDistributed(t *testing.T) {
+	spec, _ := eightCells(t)
+	dist := spec
+	dist.Distributed = true
+	if spec.Key() != dist.Key() {
+		t.Error("Spec.Key must not depend on Distributed")
+	}
+}

@@ -42,19 +42,23 @@ type Progress struct {
 }
 
 // Runner executes a sweep's cells through a service engine, appending
-// every outcome to the store.
+// every outcome to the sink.
 type Runner struct {
 	Engine *service.Engine
-	Store  *Store
+	// Store receives every cell outcome: a *Store for durable local
+	// runs, a *MemStore for leased shards whose records upload to a
+	// coordinator.
+	Store Sink
 	// Parallelism bounds concurrently submitted cells (0 = twice
 	// GOMAXPROCS; the engine's worker pool bounds actual simulation
 	// concurrency, extra submissions just queue on its slots).
 	Parallelism int
-	// ShardIndex/ShardCount split the cell list across processes:
-	// this runner only executes cells with Index % ShardCount ==
-	// ShardIndex. Zero ShardCount means one shard.
-	ShardIndex int
-	ShardCount int
+	// Indexes restricts the runner to the cells whose Index appears in
+	// the set — the explicit form of a shard, as handed out by the
+	// coordinator or computed by ShardIndexes. Nil means every cell.
+	// Every listed index must name a cell, so a shard cut against a
+	// different expansion fails loudly instead of silently under-running.
+	Indexes []int
 	// OnProgress, when set, observes every progress change. It is
 	// invoked synchronously under the runner's internal lock so
 	// deliveries arrive in order (observers can difference successive
@@ -62,20 +66,42 @@ type Runner struct {
 	OnProgress func(Progress)
 }
 
-// geo accumulates a running geometric mean in log space.
-type geo struct {
+// ShardIndexes returns the explicit index set of shard idx of n over
+// total cells — round-robin, the same assignment the old
+// Index%n == idx rule produced. n <= 1 returns nil (every cell); a
+// shard with no cells returns an empty non-nil slice, which the Runner
+// distinguishes from nil (an out-of-work shard runs nothing, not
+// everything).
+func ShardIndexes(total, idx, n int) []int {
+	if n <= 1 {
+		return nil
+	}
+	out := []int{}
+	for i := idx; i < total; i += n {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Geo accumulates a running geometric mean in log space. Zero and
+// negative values are skipped, matching metrics.GeoMean. The runner
+// and the distributed coordinator share it so their "geomean so far"
+// semantics cannot diverge.
+type Geo struct {
 	logSum float64
 	n      int
 }
 
-func (g *geo) add(v float64) {
+// Add folds one value into the mean (non-positive values are ignored).
+func (g *Geo) Add(v float64) {
 	if v > 0 {
 		g.logSum += math.Log(v)
 		g.n++
 	}
 }
 
-func (g *geo) mean() float64 {
+// Mean returns the geometric mean so far (0 with no values).
+func (g *Geo) Mean() float64 {
 	if g.n == 0 {
 		return 0
 	}
@@ -90,25 +116,29 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
 	if par <= 0 {
 		par = 2 * runtime.GOMAXPROCS(0)
 	}
-	shards := r.ShardCount
-	if shards <= 0 {
-		shards = 1
-	}
-	if r.ShardIndex < 0 || r.ShardIndex >= shards {
-		return Progress{State: StateFailed}, fmt.Errorf("sweep: shard %d out of range 0..%d", r.ShardIndex, shards-1)
-	}
-
-	var mine []Cell
-	for _, c := range cells {
-		if c.Index%shards == r.ShardIndex {
-			mine = append(mine, c)
+	mine := cells
+	if r.Indexes != nil {
+		want := make(map[int]bool, len(r.Indexes))
+		for _, i := range r.Indexes {
+			want[i] = true
+		}
+		mine = nil
+		for _, c := range cells {
+			if want[c.Index] {
+				mine = append(mine, c)
+				delete(want, c.Index)
+			}
+		}
+		if len(want) > 0 {
+			return Progress{State: StateFailed}, fmt.Errorf("sweep: %d shard index(es) name no cell (e.g. %d of %d cells) — shard cut against a different expansion?",
+				len(want), anyKey(want), len(cells))
 		}
 	}
 
 	var (
 		mu   sync.Mutex
 		prog = Progress{State: StateRunning, Total: len(mine)}
-		gm   geo
+		gm   Geo
 	)
 	// notify delivers a snapshot while holding mu, so observers see
 	// monotonically advancing progress (no reordered deliveries).
@@ -118,7 +148,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
 		}
 		mu.Lock()
 		snap := prog
-		snap.GeoMeanIPC = gm.mean()
+		snap.GeoMeanIPC = gm.Mean()
 		r.OnProgress(snap)
 		mu.Unlock()
 	}
@@ -131,7 +161,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
 		if ipc, ok := completed[c.Key()]; ok {
 			prog.Done++
 			prog.Skipped++
-			gm.add(ipc)
+			gm.Add(ipc)
 			continue
 		}
 		todo = append(todo, c)
@@ -177,7 +207,7 @@ loop:
 				}
 			} else if rec.Status == StatusOK {
 				prog.Done++
-				gm.add(rec.IPC)
+				gm.Add(rec.IPC)
 			} else {
 				prog.Failed++
 			}
@@ -197,7 +227,7 @@ loop:
 	default:
 		prog.State = StateDone
 	}
-	prog.GeoMeanIPC = gm.mean()
+	prog.GeoMeanIPC = gm.Mean()
 	final := prog
 	err := storeErr
 	mu.Unlock()
@@ -205,6 +235,14 @@ loop:
 		r.OnProgress(final)
 	}
 	return final, err
+}
+
+// anyKey returns an arbitrary key of a non-empty set (for error text).
+func anyKey(m map[int]bool) int {
+	for k := range m {
+		return k
+	}
+	return -1
 }
 
 // runCell executes one cell through the engine and shapes the record.

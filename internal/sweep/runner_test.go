@@ -142,7 +142,7 @@ func TestRunnerShards(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := fakeEngine(0)
-		final, err := (&Runner{Engine: eng, Store: st, ShardIndex: shard, ShardCount: 2}).Run(context.Background(), cells)
+		final, err := (&Runner{Engine: eng, Store: st, Indexes: ShardIndexes(len(cells), shard, 2)}).Run(context.Background(), cells)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,6 +161,33 @@ func TestRunnerShards(t *testing.T) {
 		if n != 1 {
 			t.Errorf("cell %s ran in %d shards", k, n)
 		}
+	}
+}
+
+// TestEmptyShardRunsNothing pins the explicit-index-set semantics: a
+// shard with no cells (more shards than cells) must run zero cells,
+// not fall back to "nil means everything".
+func TestEmptyShardRunsNothing(t *testing.T) {
+	spec, cells := eightCells(t)
+	idx := ShardIndexes(len(cells), 8, 9) // shard 8 of 9 over 8 cells
+	if idx == nil || len(idx) != 0 {
+		t.Fatalf("ShardIndexes = %#v, want empty non-nil", idx)
+	}
+	st, err := Create(filepath.Join(t.TempDir(), "s"), "id", spec, len(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	eng := fakeEngine(0)
+	final, err := (&Runner{Engine: eng, Store: st, Indexes: idx}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Total != 0 || final.Executed != 0 {
+		t.Fatalf("empty shard final = %+v, want zero cells", final)
+	}
+	if got := eng.Simulations(); got != 0 {
+		t.Errorf("empty shard ran %d simulations", got)
 	}
 }
 

@@ -76,6 +76,10 @@ type Spec struct {
 	// MaxCells caps the expansion (0 = DefaultMaxCells; hard ceiling
 	// MaxCellsCeiling).
 	MaxCells int `json:"max_cells,omitempty"`
+	// Distributed asks the sweep manager to run this sweep through the
+	// shard coordinator (worker processes lease shards over /coord)
+	// instead of executing cells in-process.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // Cell is one expanded simulation: its position in the sweep, its
@@ -95,8 +99,12 @@ type Cell struct {
 func (c Cell) Key() string { return c.Spec.Key() }
 
 // Key content-addresses the whole sweep spec; the store manifest pins
-// it so -resume cannot mix results from different sweeps.
+// it so -resume cannot mix results from different sweeps. Distributed
+// is an execution knob, not part of the result's identity, so it is
+// zeroed first: the same grid run locally or through the coordinator
+// shares one store.
 func (s Spec) Key() string {
+	s.Distributed = false
 	b, err := json.Marshal(s)
 	if err != nil {
 		// Spec is plain data; Marshal cannot fail.

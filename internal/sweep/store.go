@@ -2,8 +2,12 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -55,14 +59,26 @@ type Store struct {
 	dir      string
 	manifest Manifest
 
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]float64 // key → IPC of the last "ok" record
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]float64 // key → IPC of the last "ok" record
+	corrupt int                // complete-but-unparseable lines seen by load
+}
+
+// Sink receives cell records as a sweep executes. *Store is the
+// durable implementation; MemStore collects records in memory (workers
+// upload their records to the coordinator instead of owning a store).
+type Sink interface {
+	Append(CellRecord) error
+	Completed() map[string]float64
 }
 
 // Create initialises dir (which must not already contain a manifest)
 // for the given sweep and opens it for appending.
 func Create(dir, id string, spec Spec, totalCells int) (*Store, error) {
+	if spec.Name == "" {
+		return nil, errors.New("sweep: refusing to create a store for a nameless spec")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: create store: %w", err)
 	}
@@ -99,22 +115,46 @@ func Create(dir, id string, spec Spec, totalCells int) (*Store, error) {
 }
 
 // Open reopens an existing store for resumption. The stored manifest's
-// spec key must match spec; pass the zero Spec to skip the check (used
-// by read-only consumers).
+// spec key must always match spec — a nameless spec is rejected rather
+// than silently resuming against whatever the directory holds.
+// Consumers that genuinely want "whatever is here" (read-only tooling)
+// must say so explicitly via OpenAny.
 func Open(dir string, spec Spec) (*Store, error) {
-	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if spec.Name == "" {
+		return nil, errors.New("sweep: refusing to open a store against a nameless spec (use OpenAny to skip the spec check)")
+	}
+	m, err := readManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: no sweep at %s: %w", dir, err)
+		return nil, err
 	}
-	var m Manifest
-	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", dir, err)
-	}
-	if spec.Name != "" && m.SpecKey != spec.Key() {
+	if m.SpecKey != spec.Key() {
 		return nil, fmt.Errorf("sweep: %s holds sweep %q (spec key %.12s…), not the requested spec (%.12s…)",
 			dir, m.Spec.Name, m.SpecKey, spec.Key())
 	}
 	return openResults(dir, m)
+}
+
+// OpenAny reopens an existing store without pinning it to a spec — the
+// explicit form of the spec-key skip, for read-only consumers (result
+// streaming, store merging). Runners should use Open.
+func OpenAny(dir string) (*Store, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return openResults(dir, m)
+}
+
+func readManifest(dir string) (Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("sweep: no sweep at %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("sweep: corrupt manifest in %s: %w", dir, err)
+	}
+	return m, nil
 }
 
 func openResults(dir string, m Manifest) (*Store, error) {
@@ -128,35 +168,95 @@ func openResults(dir string, m Manifest) (*Store, error) {
 		return nil, fmt.Errorf("sweep: open results: %w", err)
 	}
 	s.f = f
+	if s.corrupt > 0 {
+		log.Printf("sweep: %s: ignored %d corrupt result line(s); their cells count as incomplete and will re-run", rpath, s.corrupt)
+	}
 	return s, nil
 }
 
-// load replays the results file into the completed-cell set. Lines
-// that do not parse (a truncated tail after a kill) are skipped:
-// their cells simply re-run.
+// load replays the results file into the completed-cell set. Exactly
+// one malformation is expected in a healthy store — a torn,
+// newline-less final line from a process killed mid-append — and that
+// tail is dropped silently (its cell simply re-runs). Any other
+// unparseable line is mid-file corruption: it is counted (and logged
+// by openResults) instead of being mistaken for cells to re-run.
 func (s *Store) load(path string) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
+	recs, corrupt, err := readRecords(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	for sc.Scan() {
-		var rec CellRecord
-		if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.Key == "" {
-			continue
-		}
+	s.corrupt = corrupt
+	for _, rec := range recs {
 		// Only successes complete a cell; failed-only cells re-run on
 		// resume.
 		if rec.Status == StatusOK {
 			s.done[rec.Key] = rec.IPC
 		}
 	}
-	return sc.Err()
+	return nil
+}
+
+// maxLineBytes caps one NDJSON line. Real records are kilobytes; a
+// longer run of newline-less bytes is corruption and is skipped in
+// buffer-sized chunks instead of being slurped into memory whole.
+const maxLineBytes = 1 << 20
+
+// readRecords parses an NDJSON results file, returning the well-formed
+// records in file order plus the count of corrupt lines. A torn final
+// line (no trailing newline — a kill mid-append) is tolerated and not
+// counted; complete lines that fail to parse, parse without a cell
+// key, or exceed maxLineBytes are corrupt.
+func readRecords(path string) (recs []CellRecord, corrupt int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, maxLineBytes)
+	for {
+		line, rerr := r.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			// Over-long line: count it once, discard to the newline.
+			corrupt++
+			for rerr == bufio.ErrBufferFull {
+				_, rerr = r.ReadSlice('\n')
+			}
+			if rerr == io.EOF {
+				return recs, corrupt, nil
+			}
+			if rerr != nil {
+				return recs, corrupt, rerr
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return recs, corrupt, rerr
+		}
+		torn := rerr == io.EOF && len(line) > 0 // unterminated tail
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec CellRecord
+			if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+				if !torn {
+					corrupt++
+				}
+			} else {
+				recs = append(recs, rec)
+			}
+		}
+		if rerr == io.EOF {
+			return recs, corrupt, nil
+		}
+	}
+}
+
+// ReadRecords loads every well-formed record from a store directory in
+// file order, tolerating a torn final line. Corrupt mid-file lines are
+// counted, not fatal.
+func ReadRecords(dir string) (recs []CellRecord, corrupt int, err error) {
+	return readRecords(filepath.Join(dir, ResultsFile))
 }
 
 // Record statuses.
@@ -182,6 +282,65 @@ func (s *Store) Append(rec CellRecord) error {
 		s.done[rec.Key] = rec.IPC
 	}
 	return nil
+}
+
+// Merge appends foreign records (another shard's store, a worker's
+// upload) into this store with the CellRecord dedup semantics: a cell
+// that already has a stored success is final, so both duplicate "ok"
+// records and late "failed" records for it are skipped; everything
+// else appends in order, which preserves last-ok-wins for
+// failed-then-ok sequences. It returns how many records were appended
+// and how many were dropped as duplicates (or keyless).
+func (s *Store) Merge(recs []CellRecord) (merged, skipped int, err error) {
+	for _, rec := range recs {
+		if rec.Key == "" {
+			skipped++
+			continue
+		}
+		s.mu.Lock()
+		_, done := s.done[rec.Key]
+		s.mu.Unlock()
+		if done {
+			skipped++
+			continue
+		}
+		if err := s.Append(rec); err != nil {
+			return merged, skipped, err
+		}
+		merged++
+	}
+	return merged, skipped, nil
+}
+
+// MergeStore merges every record of the store at srcDir into dst —
+// how separate hand-sharded stores collapse into one canonical store.
+// The source manifest must pin the same spec as dst, upholding the
+// cannot-mix-sweeps invariant across merges.
+func MergeStore(dst *Store, srcDir string) (merged, skipped int, err error) {
+	srcM, err := readManifest(srcDir)
+	if err != nil {
+		return 0, 0, err
+	}
+	if want := dst.Manifest().SpecKey; srcM.SpecKey != want {
+		return 0, 0, fmt.Errorf("sweep: refusing to merge %s: it holds sweep %q (spec key %.12s…), not %q (%.12s…)",
+			srcDir, srcM.Spec.Name, srcM.SpecKey, dst.Manifest().Spec.Name, want)
+	}
+	recs, corrupt, err := ReadRecords(srcDir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("sweep: merge %s: %w", srcDir, err)
+	}
+	if corrupt > 0 {
+		log.Printf("sweep: merge %s: ignored %d corrupt result line(s)", srcDir, corrupt)
+	}
+	return dst.Merge(recs)
+}
+
+// CorruptLines reports how many complete-but-unparseable result lines
+// load encountered (mid-file corruption; a torn tail is not counted).
+func (s *Store) CorruptLines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
 }
 
 // Completed returns a copy of the completed cell set: key → recorded
@@ -215,4 +374,45 @@ func (s *Store) Close() error {
 	err := s.f.Close()
 	s.f = nil
 	return err
+}
+
+// MemStore is an in-memory Sink: it collects records instead of
+// writing them, so a distributed worker can run a leased shard through
+// the ordinary Runner and then upload the records to the coordinator.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []CellRecord
+	done map[string]float64
+}
+
+// Append records one outcome.
+func (m *MemStore) Append(rec CellRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, rec)
+	if rec.Status == StatusOK {
+		if m.done == nil {
+			m.done = map[string]float64{}
+		}
+		m.done[rec.Key] = rec.IPC
+	}
+	return nil
+}
+
+// Completed returns a copy of the completed cell set.
+func (m *MemStore) Completed() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.done))
+	for k, v := range m.done {
+		out[k] = v
+	}
+	return out
+}
+
+// Records returns a copy of every appended record in order.
+func (m *MemStore) Records() []CellRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]CellRecord(nil), m.recs...)
 }

@@ -82,6 +82,209 @@ func TestStoreTruncatedTail(t *testing.T) {
 	}
 }
 
+func TestStoreMidFileCorruptionIsCountedNotResumed(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	spec := testSpec()
+	st, err := Create(dir, "id", spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(CellRecord{Key: "k1", Status: StatusOK, IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Corrupt the middle of the file (a complete, newline-terminated
+	// garbage line), append a valid record after it, then a torn tail.
+	f, err := os.OpenFile(filepath.Join(dir, ResultsFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"key\":\"k-corrupt\",oops}\n")
+	f.WriteString("{\"status\":\"ok\",\"ipc\":9}\n") // parses but keyless: also corrupt
+	b, _ := json.Marshal(CellRecord{Key: "k2", Status: StatusOK, IPC: 3})
+	f.Write(append(b, '\n'))
+	f.WriteString(`{"key":"k3","status":"o`) // torn tail: tolerated, not counted
+	f.Close()
+
+	re, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	done := re.Completed()
+	if len(done) != 2 || done["k1"] != 2 || done["k2"] != 3 {
+		t.Errorf("completed = %v, want k1 and k2 (lines after corruption must still load)", done)
+	}
+	if got := re.CorruptLines(); got != 2 {
+		t.Errorf("CorruptLines = %d, want 2 (mid-file garbage + keyless line; torn tail excluded)", got)
+	}
+}
+
+func TestStoreOverlongLineIsCorruptNotSlurped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	spec := testSpec()
+	st, err := Create(dir, "id", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(CellRecord{Key: "k1", Status: StatusOK, IPC: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	f, err := os.OpenFile(filepath.Join(dir, ResultsFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A newline-less run of garbage longer than the line cap, then a
+	// valid record: the garbage counts as one corrupt line, the record
+	// after it still loads.
+	junk := strings.Repeat("x", maxLineBytes+512)
+	f.WriteString(junk + "\n")
+	b, _ := json.Marshal(CellRecord{Key: "k2", Status: StatusOK, IPC: 3})
+	f.Write(append(b, '\n'))
+	f.Close()
+
+	re, err := Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	done := re.Completed()
+	if len(done) != 2 || done["k2"] != 3 {
+		t.Errorf("completed = %v, want k1 and k2", done)
+	}
+	if got := re.CorruptLines(); got != 1 {
+		t.Errorf("CorruptLines = %d, want 1 for the over-long line", got)
+	}
+}
+
+func TestStoreRejectsNamelessSpec(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	if _, err := Create(dir, "id", Spec{}, 1); err == nil {
+		t.Error("Create with a nameless spec should fail")
+	}
+	if st, err := Create(dir, "id", testSpec(), 2); err != nil {
+		t.Fatal(err)
+	} else {
+		st.Close()
+	}
+	// The old behaviour silently resumed a nameless spec against any
+	// directory; now it is rejected and OpenAny is the explicit opt-out.
+	if _, err := Open(dir, Spec{}); err == nil || !strings.Contains(err.Error(), "nameless") {
+		t.Errorf("Open with a nameless spec = %v, want nameless-spec rejection", err)
+	}
+	st, err := OpenAny(dir)
+	if err != nil {
+		t.Fatalf("OpenAny: %v", err)
+	}
+	defer st.Close()
+	if st.Manifest().Spec.Name != "t" {
+		t.Errorf("OpenAny manifest = %+v", st.Manifest())
+	}
+}
+
+func TestStoreMergeDedupsAndLastOKWins(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	st, err := Create(dir, "id", testSpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard A: k1 ok, k2 failed.
+	merged, skipped, err := st.Merge([]CellRecord{
+		{Key: "k1", Status: StatusOK, IPC: 1.5},
+		{Key: "k2", Status: StatusFailed, Error: "boom"},
+	})
+	if err != nil || merged != 2 || skipped != 0 {
+		t.Fatalf("merge A = (%d, %d, %v)", merged, skipped, err)
+	}
+	// Shard B: duplicate k1 ok (dropped), k2 re-run ok (appended: last
+	// ok wins over the earlier failure), late k1 failure (dropped — a
+	// stored success is final), keyless garbage (dropped).
+	merged, skipped, err = st.Merge([]CellRecord{
+		{Key: "k1", Status: StatusOK, IPC: 9},
+		{Key: "k2", Status: StatusOK, IPC: 2.5},
+		{Key: "k1", Status: StatusFailed, Error: "late"},
+		{Status: StatusOK, IPC: 3},
+	})
+	if err != nil || merged != 1 || skipped != 3 {
+		t.Fatalf("merge B = (%d, %d, %v)", merged, skipped, err)
+	}
+	done := st.Completed()
+	if len(done) != 2 || done["k1"] != 1.5 || done["k2"] != 2.5 {
+		t.Errorf("completed = %v, want k1→1.5 (first ok kept) and k2→2.5 (failed-then-ok)", done)
+	}
+	st.Close()
+
+	// A reopened store agrees, and each cell has exactly one ok record.
+	recs, corrupt, err := ReadRecords(dir)
+	if err != nil || corrupt != 0 {
+		t.Fatalf("ReadRecords = (%d recs, %d corrupt, %v)", len(recs), corrupt, err)
+	}
+	okCount := map[string]int{}
+	for _, r := range recs {
+		if r.Status == StatusOK {
+			okCount[r.Key]++
+		}
+	}
+	if okCount["k1"] != 1 || okCount["k2"] != 1 {
+		t.Errorf("ok records per key = %v, want exactly one each", okCount)
+	}
+}
+
+func TestMergeStoreCollapsesShards(t *testing.T) {
+	base := t.TempDir()
+	spec := testSpec()
+	mk := func(name string, recs ...CellRecord) string {
+		dir := filepath.Join(base, name)
+		st, err := Create(dir, name, spec, len(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := st.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+		return dir
+	}
+	a := mk("a",
+		CellRecord{Key: "k1", Status: StatusOK, IPC: 1},
+		CellRecord{Key: "k2", Status: StatusFailed, Error: "boom"})
+	b := mk("b",
+		CellRecord{Key: "k2", Status: StatusOK, IPC: 2},
+		CellRecord{Key: "k1", Status: StatusOK, IPC: 7}) // dup across shards
+
+	dst, err := Create(filepath.Join(base, "merged"), "m", spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	for _, src := range []string{a, b} {
+		if _, _, err := MergeStore(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := dst.Completed()
+	if len(done) != 2 || done["k1"] != 1 || done["k2"] != 2 {
+		t.Errorf("merged completed = %v, want k1→1, k2→2", done)
+	}
+
+	// A source directory pinned to a different sweep is refused — the
+	// same cannot-mix-sweeps invariant Open enforces.
+	other := spec
+	other.Name = "other"
+	foreign := filepath.Join(base, "foreign")
+	st, err := Create(foreign, "f", other, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, _, err := MergeStore(dst, foreign); err == nil || !strings.Contains(err.Error(), "refusing to merge") {
+		t.Errorf("MergeStore across sweeps = %v, want refusal", err)
+	}
+}
+
 func TestStoreSpecMismatch(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "s")
 	if st, err := Create(dir, "id", testSpec(), 2); err != nil {
