@@ -3,6 +3,12 @@
 // identical in-flight requests are coalesced, so a cell is simulated
 // at most once no matter how many clients ask for it.
 //
+// The distributed sweep coordinator is crash-safe: shard lease state
+// journals to coord.journal.ndjson next to each sweep's results, and
+// on startup interrupted sweeps are recovered from those journals and
+// resume serving /coord under their original ids (disable with
+// -no-recover).
+//
 // Endpoints:
 //
 //	POST   /run                  one bench × sched cell, synchronous
@@ -57,6 +63,7 @@ func main() {
 		shardSize = flag.Int("shardsize", coord.DefaultShardSize, "distributed sweeps: cells per leasable shard")
 		leaseTTL  = flag.Duration("leasettl", coord.DefaultTTL, "distributed sweeps: lease TTL without a heartbeat")
 		maxLeases = flag.Int("maxleases", coord.DefaultMaxLeases, "distributed sweeps: leases per shard before the sweep fails terminally")
+		noRecover = flag.Bool("no-recover", false, "skip crash recovery of interrupted distributed sweeps under -sweepdir")
 	)
 	flag.Parse()
 
@@ -68,6 +75,19 @@ func main() {
 	hub := coord.NewHub(coord.Config{ShardSize: *shardSize, TTL: *leaseTTL, MaxLeases: *maxLeases})
 	sweeps := sweep.NewManager(engine, *sweepDir, 0)
 	sweeps.SetDistributor(hub)
+	if !*noRecover {
+		// Resume distributed sweeps a crash or restart interrupted:
+		// their coordinators rebuild from the per-sweep journal and
+		// keep serving /coord under the original sweep ids, so workers
+		// that outlived the outage stay on their leases. A recovery
+		// failure is loud but not fatal — the flag exists to boot past
+		// a poisonous sweep directory.
+		if n, err := sweeps.Recover(); err != nil {
+			log.Printf("sweep recovery: %v (start with -no-recover to skip)", err)
+		} else if n > 0 {
+			log.Printf("recovered %d distributed sweep(s) from %s", n, *sweepDir)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/sweeps", sweeps.Handler())

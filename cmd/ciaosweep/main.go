@@ -56,7 +56,7 @@ func main() {
 		workerURL = flag.String("worker", "", "run as a distributed sweep worker against this coordinator URL")
 		name      = flag.String("name", "", "worker name (default hostname-pid)")
 		idleExit  = flag.Duration("idle-exit", 0, "worker: exit after the coordinator has been idle this long (0 = poll forever)")
-		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: lease poll interval when no shard is available")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: lease poll interval when no shard is available (±25% jitter)")
 	)
 	flag.Parse()
 	log.SetFlags(0)

@@ -14,7 +14,8 @@ package coord
 import (
 	"errors"
 	"fmt"
-
+	"io/fs"
+	"log"
 	"sync"
 	"time"
 
@@ -83,6 +84,36 @@ const (
 	shardDone                      // records merged
 )
 
+// Shard state names on the wire (journal snapshots).
+const (
+	shardStatePending = "pending"
+	shardStateLeased  = "leased"
+	shardStateDone    = "done"
+)
+
+func (s shardState) name() string {
+	switch s {
+	case shardLeased:
+		return shardStateLeased
+	case shardDone:
+		return shardStateDone
+	default:
+		return shardStatePending
+	}
+}
+
+func shardStateFromName(name string) (shardState, bool) {
+	switch name {
+	case shardStatePending:
+		return shardPending, true
+	case shardStateLeased:
+		return shardLeased, true
+	case shardStateDone:
+		return shardDone, true
+	}
+	return 0, false
+}
+
 // shard is one leasable unit of work: an explicit set of cell indexes.
 type shard struct {
 	id      int
@@ -113,6 +144,7 @@ type Coordinator struct {
 	maxLeases int
 	counters  *metrics.CoordCounters
 	onProg    func(sweep.Progress)
+	jr        *journal
 
 	mu         sync.Mutex
 	shards     []*shard
@@ -169,13 +201,166 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 		}
 		c.shards = append(c.shards, &shard{id: len(c.shards), indexes: todo[start:end]})
 	}
+	jr, err := openJournal(store.CoordJournalPath(), counters)
+	if err != nil {
+		log.Printf("coord: %v (sweep %s runs without crash recovery)", err, id)
+	}
+	c.jr = jr
 	c.mu.Lock()
+	// The initial snapshot atomically discards whatever journal a
+	// previous process left for this directory: a fresh coordinator
+	// owns the lease table outright, stale leases are obsolete by
+	// construction (its partition excludes settled cells). If the
+	// reset does not land, appending deltas onto the old journal would
+	// replay against a different partition — journal-less beats wrong.
+	if !c.jr.rewrite(c.snapshotEntryLocked()) {
+		c.jr.close()
+	}
 	if len(c.shards) == 0 {
 		c.finishLocked(sweep.StateDone, "")
 	}
 	c.notifyLocked()
 	c.mu.Unlock()
 	return c
+}
+
+// recoverCoordinator rebuilds an in-flight coordinator from the
+// journal co-located with the store. It returns (nil, nil) when there
+// is nothing to recover: no journal, a snapshot-less journal, or a
+// journaled sweep that already reached a terminal state. Cell
+// outcomes are seeded from the store — a cell with a stored success
+// is never re-issued, and cells the crashed coordinator had counted
+// failed stay counted (recovery reconstructs the in-flight
+// coordinator, not a fresh resume; failed cells in open shards still
+// re-lease, because Lease filters on "has no stored success"). The
+// shard partition, lease holders and lease counts come from the
+// journal, so surviving workers keep their lease ids. Leases whose
+// TTL lapsed during the outage stay on the table as-is: the
+// reclaim-on-demand rule in Lease makes them immediately re-leasable,
+// while a holder that heartbeats first revives.
+func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) (*Coordinator, error) {
+	if counters == nil {
+		counters = &metrics.CoordCounters{}
+	}
+	path := store.CoordJournalPath()
+	st, err := replayJournal(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coord: replay %s: %w", path, err)
+	}
+	if st.corrupt > 0 {
+		log.Printf("coord: %s: ignored %d corrupt journal line(s)", path, st.corrupt)
+	}
+	if st.sweepID == "" || st.finished {
+		return nil, nil
+	}
+	counters.JournalReplayed.Add(uint64(st.entries))
+
+	c := &Coordinator{
+		id:         st.sweepID,
+		spec:       spec,
+		store:      store,
+		ttl:        cfg.ttl(),
+		maxLeases:  cfg.maxLeases(),
+		counters:   counters,
+		onProg:     onProgress,
+		cells:      make(map[string]cellOutcome, len(cells)),
+		keyByIndex: make(map[int]string, len(cells)),
+		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
+		done:       make(chan struct{}),
+	}
+	completed := store.Completed()
+	for _, cell := range cells {
+		key := cell.Key()
+		c.keyByIndex[cell.Index] = key
+		if ipc, ok := completed[key]; ok {
+			c.cells[key] = cellOK
+			c.prog.Done++
+			c.prog.Skipped++
+			c.gm.Add(ipc)
+			continue
+		}
+		c.cells[key] = cellPendingOutcome
+	}
+	for key := range store.FailedCells() {
+		if state, known := c.cells[key]; known && state == cellPendingOutcome {
+			c.cells[key] = cellFailed
+			c.prog.Failed++
+		}
+	}
+
+	now := time.Now()
+	covered := map[int]bool{} // cell indexes the journaled shards carry
+	for _, snap := range st.shards {
+		state, ok := shardStateFromName(snap.State)
+		if !ok {
+			state = shardPending // unknown state: safe to re-lease
+		}
+		sh := &shard{id: len(c.shards), state: state, worker: snap.Worker, leases: snap.Leases}
+		for _, idx := range snap.Indexes {
+			if _, known := c.keyByIndex[idx]; known {
+				sh.indexes = append(sh.indexes, idx)
+				covered[idx] = true
+			}
+		}
+		if sh.state == shardDone && !c.shardSettledLocked(sh) {
+			// The journal's retire outlived some of the shard's result
+			// lines (a power failure can persist one unsynced file and
+			// not the other). Trusting "done" would strand the lost
+			// cells forever; demote the shard so they re-lease.
+			log.Printf("coord: %s: journaled-done shard %d has unsettled cells; re-opening it", c.id, sh.id)
+			sh.state = shardPending
+			sh.worker = ""
+		}
+		if snap.Expires != nil {
+			sh.expires = *snap.Expires
+		}
+		if sh.state == shardLeased && sh.expires.After(now) {
+			counters.LeasesRecovered.Inc()
+		}
+		c.shards = append(c.shards, sh)
+	}
+	// Safety net: incomplete cells no journaled shard covers (the
+	// manifest pins the spec, so this should be impossible) get fresh
+	// shards instead of being silently lost.
+	var orphans []int
+	for _, cell := range cells {
+		if !covered[cell.Index] && c.cells[c.keyByIndex[cell.Index]] != cellOK {
+			orphans = append(orphans, cell.Index)
+		}
+	}
+	if len(orphans) > 0 {
+		log.Printf("coord: %s: %d cell(s) missing from the journaled partition; re-sharding them", c.id, len(orphans))
+		size := cfg.shardSize()
+		for start := 0; start < len(orphans); start += size {
+			end := start + size
+			if end > len(orphans) {
+				end = len(orphans)
+			}
+			c.shards = append(c.shards, &shard{id: len(c.shards), indexes: orphans[start:end]})
+		}
+	}
+
+	counters.SweepsRecovered.Inc()
+	jr, jerr := openJournal(path, counters)
+	if jerr != nil {
+		log.Printf("coord: %v (recovered sweep %s runs without crash recovery)", jerr, c.id)
+	}
+	c.jr = jr
+	c.mu.Lock()
+	// Recovery is itself a compaction: the replayed history collapses
+	// into one snapshot of the reconstructed table.
+	c.compactJournalLocked()
+	if c.allDoneLocked() {
+		// The crash lost only the terminal line (every shard had
+		// already retired).
+		c.finishLocked(sweep.StateDone, "")
+	}
+	c.notifyLocked()
+	c.mu.Unlock()
+	return c, nil
 }
 
 // ID returns the sweep run identifier the coordinator serves.
@@ -259,6 +444,8 @@ func (c *Coordinator) Lease(worker string) (l Lease, ok bool) {
 		if sh.leases > 1 {
 			c.counters.ShardsReassigned.Inc()
 		}
+		exp := sh.expires
+		c.journalLocked(journalEntry{T: entryLease, Shard: sh.id, Worker: worker, Expires: &exp, Leases: sh.leases})
 		return Lease{
 			Sweep:   c.id,
 			Shard:   sh.id,
@@ -290,6 +477,8 @@ func (c *Coordinator) Heartbeat(worker string, shardID int) bool {
 		return false
 	}
 	sh.expires = time.Now().Add(c.ttl)
+	exp := sh.expires
+	c.journalLocked(journalEntry{T: entryRenew, Shard: sh.id, Expires: &exp})
 	return true
 }
 
@@ -356,6 +545,7 @@ func (c *Coordinator) retireShardLocked(sh *shard) {
 		sh.state = shardDone
 		sh.worker = ""
 		c.counters.ShardsCompleted.Inc()
+		c.journalLocked(journalEntry{T: entryRetire, Shard: sh.id})
 	}
 }
 
@@ -478,6 +668,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			sh.state = shardPending
 			sh.worker = ""
 			c.counters.LeasesExpired.Inc()
+			c.journalLocked(journalEntry{T: entryExpire, Shard: sh.id})
 		}
 	}
 }
@@ -491,7 +682,10 @@ func (c *Coordinator) allDoneLocked() bool {
 	return true
 }
 
-// finishLocked moves the sweep to a terminal state exactly once.
+// finishLocked moves the sweep to a terminal state exactly once. The
+// journal is rewritten to its terminal form — one snapshot plus the
+// finish line — and closed: restarts skip finished sweeps, and the
+// file stays as a compact record of how the sweep ended.
 func (c *Coordinator) finishLocked(state sweep.State, errMsg string) {
 	if c.closed {
 		return
@@ -501,7 +695,49 @@ func (c *Coordinator) finishLocked(state sweep.State, errMsg string) {
 	if errMsg != "" {
 		c.prog.Error = errMsg
 	}
+	c.jr.rewrite(c.snapshotEntryLocked(), journalEntry{T: entryFinish, State: string(state), Error: errMsg})
+	c.jr.close()
 	close(c.done)
+}
+
+// journalCompactMin floors the delta entries accumulated before a
+// compaction rewrite (a var so tests can trigger compaction cheaply).
+var journalCompactMin = 256
+
+// journalLocked appends one delta entry and, when the delta history
+// dwarfs the table it describes (long sweeps accumulate a renew line
+// per heartbeat), compacts the journal back to a single snapshot.
+func (c *Coordinator) journalLocked(e journalEntry) {
+	c.jr.append(e)
+	if !c.jr.disabled() && c.jr.pending >= journalCompactMin && c.jr.pending >= 8*len(c.shards) {
+		c.compactJournalLocked()
+	}
+}
+
+// compactJournalLocked rewrites the journal as one snapshot of the
+// current table, dropping the settled churn that led here — the file
+// stays proportional to the shard count, not the sweep's lifetime.
+func (c *Coordinator) compactJournalLocked() {
+	if c.jr.disabled() {
+		return
+	}
+	c.jr.rewrite(c.snapshotEntryLocked())
+	c.counters.JournalCompactions.Inc()
+}
+
+// snapshotEntryLocked captures the full shard table as one journal
+// entry — the fixed point a replay starts from.
+func (c *Coordinator) snapshotEntryLocked() journalEntry {
+	e := journalEntry{T: entrySnapshot, Sweep: c.id, Shards: make([]shardSnap, len(c.shards))}
+	for i, sh := range c.shards {
+		snap := shardSnap{ID: sh.id, Indexes: sh.indexes, State: sh.state.name(), Worker: sh.worker, Leases: sh.leases}
+		if sh.state == shardLeased {
+			exp := sh.expires
+			snap.Expires = &exp
+		}
+		e.Shards[i] = snap
+	}
+	return e
 }
 
 // notifyLocked delivers the current progress to the observer while

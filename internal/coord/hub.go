@@ -3,7 +3,9 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -42,6 +44,46 @@ func NewHub(cfg Config) *Hub {
 // finishes.
 func (h *Hub) Distribute(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, onProgress func(sweep.Progress)) (sweep.DistributedRun, error) {
 	c := NewCoordinator(id, spec, cells, store, h.cfg, &h.counters, onProgress)
+	h.register(c)
+	return c, nil
+}
+
+// NeedsRecovery implements the cheap probe of sweep.Recoverer: it
+// replays only the journal (a finished sweep's is two lines) to
+// report whether dir holds an interrupted coordinator, so startup
+// never opens the stores of finished sweeps. A missing journal is a
+// clean "no"; an unreadable one is an error — silently skipping it
+// would drop a live sweep without a trace.
+func (h *Hub) NeedsRecovery(dir string) (bool, error) {
+	st, err := replayJournal(filepath.Join(dir, sweep.CoordJournalFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return st.sweepID != "" && !st.finished, nil
+}
+
+// Recover implements sweep.Recoverer: it rebuilds the coordinator for
+// one crashed sweep directory from the journal co-located with the
+// store and resumes serving its leases under the original sweep id,
+// so workers that survived the outage keep heartbeating the lease ids
+// they hold. (nil, "", nil) means the directory needs no recovery —
+// no journal, or the journaled sweep already reached a terminal
+// state.
+func (h *Hub) Recover(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, onProgress func(sweep.Progress)) (sweep.DistributedRun, string, error) {
+	c, err := recoverCoordinator(spec, cells, store, h.cfg, &h.counters, onProgress)
+	if err != nil || c == nil {
+		return nil, "", err
+	}
+	h.register(c)
+	return c, c.ID(), nil
+}
+
+// register serves a coordinator's leases until it finishes.
+func (h *Hub) register(c *Coordinator) {
+	id := c.ID()
 	h.mu.Lock()
 	h.coords[id] = c
 	h.order = append(h.order, id)
@@ -58,7 +100,6 @@ func (h *Hub) Distribute(id string, spec sweep.Spec, cells []sweep.Cell, store *
 		}
 		h.mu.Unlock()
 	}()
-	return c, nil
 }
 
 // get returns the live coordinator for a sweep id.

@@ -1,0 +1,173 @@
+package coord
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// runLeasedShard executes a lease's cells through a fresh fake engine
+// and returns the collected records.
+func runLeasedShard(t *testing.T, l Lease, cells []sweep.Cell) []sweep.CellRecord {
+	t.Helper()
+	mem := &sweep.MemStore{}
+	if _, err := (&sweep.Runner{Engine: fakeEngine(), Store: mem, Indexes: l.Indexes}).Run(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	return mem.Records()
+}
+
+// TestJournalRoundTrip drives a coordinator through the full lease
+// lifecycle — grant, renew, expiry, re-assignment, retire — and checks
+// that replaying the journal reconstructs exactly the table the
+// coordinator holds.
+func TestJournalRoundTrip(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 2, TTL: 50 * time.Millisecond}, nil, nil)
+	l1, ok := c.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	if !c.Heartbeat("w1", l1.Shard) {
+		t.Fatal("heartbeat refused")
+	}
+	// w1 vanishes; after the TTL its shard re-assigns to w2 (the Lease
+	// call journals the expiry and the re-grant), and w2 completes it.
+	time.Sleep(80 * time.Millisecond)
+	l2, ok := c.Lease("w2")
+	if !ok {
+		t.Fatal("no re-lease")
+	}
+	if l2.Shard != l1.Shard {
+		t.Fatalf("w2 got shard %d, want the expired shard %d", l2.Shard, l1.Shard)
+	}
+	if _, _, err := c.Complete("w2", l2.Shard, runLeasedShard(t, l2, cells)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := replayJournal(store.CoordJournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.sweepID != "run-1" || st.finished || st.corrupt != 0 {
+		t.Fatalf("replay = id %q finished %v corrupt %d", st.sweepID, st.finished, st.corrupt)
+	}
+	if len(st.shards) != 4 {
+		t.Fatalf("replayed %d shards, want 4", len(st.shards))
+	}
+	var done, pending int
+	for _, sh := range st.shards {
+		switch sh.State {
+		case shardStateDone:
+			done++
+		case shardStatePending:
+			pending++
+		}
+	}
+	if done != 1 || pending != 3 {
+		t.Fatalf("replayed table: %d done / %d pending, want 1 / 3", done, pending)
+	}
+	if got := st.shards[l1.Shard]; got.State != shardStateDone || got.Leases != 2 {
+		t.Fatalf("re-assigned shard replayed as %+v, want done with 2 leases", got)
+	}
+	c.Cancel()
+}
+
+// TestJournalTornTailAndCorruptLines: a torn final line (kill
+// mid-append) is dropped silently; complete-but-unparseable mid-file
+// lines are counted and skipped without poisoning the entries around
+// them.
+func TestJournalTornTailAndCorruptLines(t *testing.T) {
+	path := t.TempDir() + "/j.ndjson"
+	lines := strings.Join([]string{
+		`{"t":"snapshot","sweep":"run-9","shards":[{"id":0,"indexes":[0,1],"state":"pending"},{"id":1,"indexes":[2,3],"state":"pending"}]}`,
+		`{"t":"lease","shard":1,"worker":"w1","expires":"2026-01-02T03:04:05Z","leases":1}`,
+		`this line is garbage`,
+		`{"t":"lease","shard":99,"worker":"w1"}`, // names no shard
+		`{"t":"retire","shard":0}`,
+		`{"t":"renew","shard":1,"expi`, // torn tail, no newline
+	}, "\n")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.sweepID != "run-9" || st.finished {
+		t.Fatalf("replay = id %q finished %v", st.sweepID, st.finished)
+	}
+	if st.corrupt != 2 {
+		t.Errorf("corrupt = %d, want 2 (garbage + unknown shard; the torn tail is free)", st.corrupt)
+	}
+	if st.entries != 3 {
+		t.Errorf("entries applied = %d, want 3", st.entries)
+	}
+	if st.shards[0].State != shardStateDone {
+		t.Errorf("shard 0 = %q, want done", st.shards[0].State)
+	}
+	if st.shards[1].State != shardStateLeased || st.shards[1].Worker != "w1" {
+		t.Errorf("shard 1 = %+v, want leased by w1", st.shards[1])
+	}
+}
+
+// TestJournalCompaction: the delta history (one renew per heartbeat)
+// compacts back to a single snapshot once it dwarfs the table, and the
+// snapshot replays to the same state. Finishing rewrites the journal
+// to its terminal form.
+func TestJournalCompaction(t *testing.T) {
+	old := journalCompactMin
+	journalCompactMin = 4
+	defer func() { journalCompactMin = old }()
+
+	spec, cells := eightCellSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 8, TTL: time.Minute}, nil, nil)
+	l, ok := c.Lease("w1")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	for i := 0; i < 20; i++ {
+		if !c.Heartbeat("w1", l.Shard) {
+			t.Fatal("heartbeat refused")
+		}
+	}
+	if got := c.counters.Snapshot().JournalCompactions; got == 0 {
+		t.Fatal("no compaction after 20 renew entries with journalCompactMin=4")
+	}
+	st, err := replayJournal(store.CoordJournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The effective threshold is max(journalCompactMin, 8×shards) = 8
+	// here, so the file can never hold more than a snapshot plus one
+	// threshold's worth of deltas.
+	if st.entries > 9 {
+		t.Errorf("journal holds %d entries after compaction, want at most 9", st.entries)
+	}
+	if st.shards[l.Shard].State != shardStateLeased || st.shards[l.Shard].Worker != "w1" {
+		t.Errorf("compacted journal lost the lease: %+v", st.shards[l.Shard])
+	}
+
+	// Finishing leaves the terminal two-line form behind.
+	if _, _, err := c.Complete("w1", l.Shard, runLeasedShard(t, l, cells)); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c)
+	st, err = replayJournal(store.CoordJournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.finished || st.entries != 2 {
+		t.Errorf("terminal journal = finished %v with %d entries, want snapshot+finish", st.finished, st.entries)
+	}
+}

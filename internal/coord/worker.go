@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strings"
@@ -51,11 +52,16 @@ func (c WorkerConfig) name() string {
 	return fmt.Sprintf("%s-%d", host, os.Getpid())
 }
 
+// poll returns the lease poll interval with ±25% jitter. Without it a
+// fleet of workers released by the same event — an idle coordinator
+// receiving a sweep, a server restart — knocks on /coord/lease in
+// lockstep forever; the jitter spreads each retry wave out.
 func (c WorkerConfig) poll() time.Duration {
-	if c.Poll <= 0 {
-		return 500 * time.Millisecond
+	d := c.Poll
+	if d <= 0 {
+		d = 500 * time.Millisecond
 	}
-	return c.Poll
+	return d - d/4 + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
 func (c WorkerConfig) client() *http.Client {

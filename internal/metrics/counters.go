@@ -52,10 +52,12 @@ func (c *SweepCounters) Snapshot() SweepSnapshot {
 
 // CoordCounters track the distributed sweep coordinator: shard leases
 // granted, leases expired (worker presumed dead), shards re-assigned
-// after expiry, shards acked complete, plus the record merge outcomes
-// (merged into the canonical store vs dropped as duplicates) and
-// stale acks (a complete or heartbeat from a worker whose lease was
-// already expired or re-assigned).
+// after expiry, shards acked complete, the record merge outcomes
+// (merged into the canonical store vs dropped as duplicates), stale
+// acks (a complete or heartbeat from a worker whose lease was already
+// expired or re-assigned), and the crash-recovery journal: entries
+// appended, entries replayed on recovery, compaction rewrites, sweeps
+// reconstructed after a restart and leases restored still live.
 type CoordCounters struct {
 	LeasesGranted    Counter
 	LeasesExpired    Counter
@@ -64,6 +66,12 @@ type CoordCounters struct {
 	RecordsMerged    Counter
 	RecordsDeduped   Counter
 	StaleAcks        Counter
+
+	JournalEntries     Counter
+	JournalReplayed    Counter
+	JournalCompactions Counter
+	SweepsRecovered    Counter
+	LeasesRecovered    Counter
 }
 
 // CoordSnapshot is a point-in-time, JSON-serializable view of
@@ -76,6 +84,12 @@ type CoordSnapshot struct {
 	RecordsMerged    uint64 `json:"records_merged"`
 	RecordsDeduped   uint64 `json:"records_deduped"`
 	StaleAcks        uint64 `json:"stale_acks"`
+
+	JournalEntries     uint64 `json:"journal_entries"`
+	JournalReplayed    uint64 `json:"journal_replayed"`
+	JournalCompactions uint64 `json:"journal_compactions"`
+	SweepsRecovered    uint64 `json:"sweeps_recovered"`
+	LeasesRecovered    uint64 `json:"leases_recovered"`
 }
 
 // Snapshot captures the current values.
@@ -88,6 +102,12 @@ func (c *CoordCounters) Snapshot() CoordSnapshot {
 		RecordsMerged:    c.RecordsMerged.Value(),
 		RecordsDeduped:   c.RecordsDeduped.Value(),
 		StaleAcks:        c.StaleAcks.Value(),
+
+		JournalEntries:     c.JournalEntries.Value(),
+		JournalReplayed:    c.JournalReplayed.Value(),
+		JournalCompactions: c.JournalCompactions.Value(),
+		SweepsRecovered:    c.SweepsRecovered.Value(),
+		LeasesRecovered:    c.LeasesRecovered.Value(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -75,6 +76,19 @@ type DistributedRun interface {
 // SetDistributor installs the coordinator hub that executes sweeps
 // whose spec sets "distributed": true. Call before serving requests.
 func (m *Manager) SetDistributor(d Distributor) { m.dist = d }
+
+// Recoverer is the optional Distributor extension for crash-safe
+// coordinators. NeedsRecovery cheaply reports whether a sweep
+// directory holds an unfinished coordinator journal — the gate that
+// keeps startup from re-opening (and re-parsing) the store of every
+// finished sweep ever run. Recover then rebuilds the in-flight run
+// for one such directory (store + co-located journal) and resumes
+// serving it under its original id; run == nil with a nil error means
+// the directory needed no recovery after all.
+type Recoverer interface {
+	NeedsRecovery(dir string) (bool, error)
+	Recover(spec Spec, cells []Cell, store *Store, onProgress func(Progress)) (run DistributedRun, id string, err error)
+}
 
 // Run is one managed sweep execution.
 type Run struct {
@@ -260,6 +274,12 @@ func (m *Manager) runDistributed(ctx context.Context, run *Run, spec Spec, cells
 	if err != nil {
 		return Progress{State: StateFailed, Total: len(cells)}, err
 	}
+	return m.waitDistributed(ctx, d)
+}
+
+// waitDistributed blocks until a distributed run reaches a terminal
+// state, cancelling it when ctx ends first.
+func (m *Manager) waitDistributed(ctx context.Context, d DistributedRun) (Progress, error) {
 	select {
 	case <-d.Done():
 	case <-ctx.Done():
@@ -271,6 +291,136 @@ func (m *Manager) runDistributed(ctx context.Context, run *Run, spec Spec, cells
 		return final, errors.New(final.Error)
 	}
 	return final, nil
+}
+
+// Recover scans the manager's base directory for distributed sweeps a
+// crash or restart interrupted — directories holding a coordinator
+// journal whose sweep never finished — and resumes serving them under
+// their original ids, so workers that survived the outage keep
+// heartbeating the leases they hold and /sweeps keeps answering for
+// the same run. Call once at startup, after SetDistributor and before
+// serving requests. It reports how many sweeps resumed; per-directory
+// failures are joined into err but do not stop the scan (one corrupt
+// directory must not strand every other sweep).
+func (m *Manager) Recover() (recovered int, err error) {
+	rec, ok := m.dist.(Recoverer)
+	if !ok {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(m.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.dir, ent.Name())
+		if _, serr := os.Stat(filepath.Join(dir, CoordJournalFile)); serr != nil {
+			continue // a local sweep, or nothing was ever journaled
+		}
+		ok, rerr := m.recoverDir(rec, dir)
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", dir, rerr))
+			continue
+		}
+		if ok {
+			recovered++
+		}
+	}
+	return recovered, errors.Join(errs...)
+}
+
+// recoverDir resumes one sweep directory, reporting false when its
+// journal shows a finished sweep (or its spec is already running).
+func (m *Manager) recoverDir(rec Recoverer, dir string) (bool, error) {
+	need, err := rec.NeedsRecovery(dir)
+	if err != nil || !need {
+		return false, err
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return false, err
+	}
+	spec := man.Spec
+	cells, err := spec.Expand()
+	if err != nil {
+		return false, err
+	}
+	key := spec.Key()
+	m.mu.Lock()
+	if _, busy := m.active[key]; busy {
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.starting[key] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.starting, key)
+		m.mu.Unlock()
+	}()
+
+	store, err := Open(dir, spec)
+	if err != nil {
+		return false, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &Run{
+		spec:    spec,
+		store:   store,
+		created: man.Created,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		prog:    Progress{State: StateRunning, Total: len(cells)},
+	}
+	d, id, err := rec.Recover(spec, cells, store, m.progressSink(run))
+	if err != nil || d == nil {
+		store.Close()
+		cancel()
+		return false, err
+	}
+	run.id = id
+
+	m.mu.Lock()
+	m.runs[id] = run
+	m.order = append(m.order, id)
+	m.active[key] = run
+	m.bumpSeqLocked(id)
+	m.pruneRunsLocked()
+	m.mu.Unlock()
+
+	go func() {
+		defer close(run.done)
+		defer store.Close()
+		defer func() {
+			m.mu.Lock()
+			delete(m.active, key)
+			m.mu.Unlock()
+		}()
+		final, werr := m.waitDistributed(ctx, d)
+		if werr != nil && final.Error == "" {
+			final.Error = werr.Error()
+		}
+		run.mu.Lock()
+		run.prog = final
+		run.mu.Unlock()
+	}()
+	return true, nil
+}
+
+// bumpSeqLocked advances the id sequence past a recovered run's, so a
+// later Start cannot mint the "sweep-<n>-<key>" id the recovered run
+// already answers to. Callers must hold m.mu.
+func (m *Manager) bumpSeqLocked(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "sweep-%d-", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
 }
 
 // pruneRunsLocked evicts the oldest finished run records while over

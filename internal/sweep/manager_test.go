@@ -50,6 +50,16 @@ func TestManagerRejectsDistributedWithoutDistributor(t *testing.T) {
 	}
 }
 
+// TestRecoverIsANoopWithoutRecovererOrSweeps: Recover must tolerate a
+// manager with no distributor (or one that cannot recover) and a base
+// directory that does not exist yet — the common first-boot cases.
+func TestRecoverIsANoopWithoutRecovererOrSweeps(t *testing.T) {
+	m := NewManager(fakeEngine(0), filepath.Join(t.TempDir(), "not-created-yet"), 0)
+	if n, err := m.Recover(); n != 0 || err != nil {
+		t.Fatalf("Recover without a distributor = (%d, %v), want a no-op", n, err)
+	}
+}
+
 // TestSpecKeyIgnoresDistributed: distributed is an execution knob —
 // the same grid run locally or through the coordinator must share one
 // store.

@@ -18,6 +18,13 @@ import (
 const (
 	ManifestFile = "manifest.json"
 	ResultsFile  = "results.ndjson"
+	// CoordJournalFile is the distributed coordinator's write-ahead
+	// journal, co-located with the results so one directory is the
+	// whole durable state of a sweep: the manifest pins the spec, the
+	// results file settles cells, the journal restores the shard lease
+	// table after a server restart. Only distributed sweeps have one;
+	// its presence is how startup recovery spots them.
+	CoordJournalFile = "coord.journal.ndjson"
 )
 
 // Manifest pins a results directory to one sweep spec, so resuming
@@ -61,8 +68,9 @@ type Store struct {
 
 	mu      sync.Mutex
 	f       *os.File
-	done    map[string]float64 // key → IPC of the last "ok" record
-	corrupt int                // complete-but-unparseable lines seen by load
+	done    map[string]float64  // key → IPC of the last "ok" record
+	failed  map[string]struct{} // keys with failures and no success yet
+	corrupt int                 // complete-but-unparseable lines seen by load
 }
 
 // Sink receives cell records as a sweep executes. *Store is the
@@ -158,7 +166,7 @@ func readManifest(dir string) (Manifest, error) {
 }
 
 func openResults(dir string, m Manifest) (*Store, error) {
-	s := &Store{dir: dir, manifest: m, done: map[string]float64{}}
+	s := &Store{dir: dir, manifest: m, done: map[string]float64{}, failed: map[string]struct{}{}}
 	rpath := filepath.Join(dir, ResultsFile)
 	if err := s.load(rpath); err != nil {
 		return nil, err
@@ -188,12 +196,25 @@ func (s *Store) load(path string) error {
 	s.corrupt = corrupt
 	for _, rec := range recs {
 		// Only successes complete a cell; failed-only cells re-run on
-		// resume.
-		if rec.Status == StatusOK {
-			s.done[rec.Key] = rec.IPC
-		}
+		// resume (and are tracked so coordinator recovery can restore
+		// its failure counts without re-parsing the file).
+		s.record(rec)
 	}
 	return nil
+}
+
+// record folds one record into the completed/failed cell sets.
+// Callers hold s.mu (or, during load, sole ownership).
+func (s *Store) record(rec CellRecord) {
+	switch rec.Status {
+	case StatusOK:
+		s.done[rec.Key] = rec.IPC
+		delete(s.failed, rec.Key)
+	case StatusFailed:
+		if _, ok := s.done[rec.Key]; !ok {
+			s.failed[rec.Key] = struct{}{}
+		}
+	}
 }
 
 // maxLineBytes caps one NDJSON line. Real records are kilobytes; a
@@ -201,21 +222,21 @@ func (s *Store) load(path string) error {
 // buffer-sized chunks instead of being slurped into memory whole.
 const maxLineBytes = 1 << 20
 
-// readRecords parses an NDJSON results file, returning the well-formed
-// records in file order plus the count of corrupt lines. A torn final
-// line (no trailing newline — a kill mid-append) is tolerated and not
-// counted; complete lines that fail to parse, parse without a cell
-// key, or exceed maxLineBytes are corrupt.
-func readRecords(path string) (recs []CellRecord, corrupt int, err error) {
+// ScanNDJSON reads the NDJSON file at path line by line, handing each
+// non-blank line to use, which reports whether it was usable. A torn
+// final line (no trailing newline — a kill mid-append) is passed with
+// torn=true and never counted corrupt; any other unusable line — use
+// rejected it, or it exceeded maxLine — is. The append-only stores and
+// the coordinator journal share this loop so their torn-tail semantics
+// cannot diverge. A missing file surfaces as the os.Open error for
+// callers to interpret.
+func ScanNDJSON(path string, maxLine int, use func(line []byte, torn bool) bool) (corrupt int, err error) {
 	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, 0, nil
-	}
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, maxLineBytes)
+	r := bufio.NewReaderSize(f, maxLine)
 	for {
 		line, rerr := r.ReadSlice('\n')
 		if rerr == bufio.ErrBufferFull {
@@ -225,31 +246,45 @@ func readRecords(path string) (recs []CellRecord, corrupt int, err error) {
 				_, rerr = r.ReadSlice('\n')
 			}
 			if rerr == io.EOF {
-				return recs, corrupt, nil
+				return corrupt, nil
 			}
 			if rerr != nil {
-				return recs, corrupt, rerr
+				return corrupt, rerr
 			}
 			continue
 		}
 		if rerr != nil && rerr != io.EOF {
-			return recs, corrupt, rerr
+			return corrupt, rerr
 		}
 		torn := rerr == io.EOF && len(line) > 0 // unterminated tail
 		if len(bytes.TrimSpace(line)) > 0 {
-			var rec CellRecord
-			if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
-				if !torn {
-					corrupt++
-				}
-			} else {
-				recs = append(recs, rec)
+			if !use(line, torn) && !torn {
+				corrupt++
 			}
 		}
 		if rerr == io.EOF {
-			return recs, corrupt, nil
+			return corrupt, nil
 		}
 	}
+}
+
+// readRecords parses an NDJSON results file, returning the well-formed
+// records in file order plus the count of corrupt lines. A torn final
+// line is tolerated and not counted; complete lines that fail to
+// parse, parse without a cell key, or exceed maxLineBytes are corrupt.
+func readRecords(path string) (recs []CellRecord, corrupt int, err error) {
+	corrupt, err = ScanNDJSON(path, maxLineBytes, func(line []byte, torn bool) bool {
+		var rec CellRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+			return false
+		}
+		recs = append(recs, rec)
+		return true
+	})
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	return recs, corrupt, err
 }
 
 // ReadRecords loads every well-formed record from a store directory in
@@ -278,9 +313,7 @@ func (s *Store) Append(rec CellRecord) error {
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("sweep: append result: %w", err)
 	}
-	if rec.Status == StatusOK {
-		s.done[rec.Key] = rec.IPC
-	}
+	s.record(rec)
 	return nil
 }
 
@@ -343,6 +376,19 @@ func (s *Store) CorruptLines() int {
 	return s.corrupt
 }
 
+// FailedCells returns a copy of the keys that have recorded failures
+// and no success yet — the cells a resumed run re-executes, and the
+// failure counts a recovered coordinator restores.
+func (s *Store) FailedCells() map[string]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]struct{}, len(s.failed))
+	for k := range s.failed {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
 // Completed returns a copy of the completed cell set: key → recorded
 // IPC.
 func (s *Store) Completed() map[string]float64 {
@@ -363,6 +409,10 @@ func (s *Store) Dir() string { return s.dir }
 
 // ResultsPath returns the NDJSON file path (for streaming readers).
 func (s *Store) ResultsPath() string { return filepath.Join(s.dir, ResultsFile) }
+
+// CoordJournalPath returns where the distributed coordinator journals
+// its shard lease table for this sweep.
+func (s *Store) CoordJournalPath() string { return filepath.Join(s.dir, CoordJournalFile) }
 
 // Close releases the results file.
 func (s *Store) Close() error {
