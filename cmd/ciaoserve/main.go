@@ -26,10 +26,18 @@
 //	GET    /sweeps/{id}/results  stream results as NDJSON (live tail;
 //	                             ?follow=0 for a snapshot)
 //	DELETE /sweeps/{id}          cancel a sweep (results kept on disk)
-//	POST   /coord/lease          worker: acquire a shard lease
+//	POST   /coord/lease          worker: acquire a shard lease (workers
+//	                             advertise capability tags + max-cells
+//	                             hints; constrained shards wait for a
+//	                             matching worker)
 //	POST   /coord/heartbeat      worker: renew a lease
 //	POST   /coord/complete       worker: upload a shard's records
 //	GET    /coord/status         shard tables of live distributed sweeps
+//	POST   /coord/admin/expire   force-expire a lease ({"sweep","shard"})
+//	POST   /coord/admin/quarantine    park a poisonous shard; the sweep
+//	                                  can finish "done-with-quarantined"
+//	POST   /coord/admin/unquarantine  release a parked shard
+//	GET    /coord/admin/leases   live lease tables (ages, tags, renews)
 //	GET    /metrics              cache/engine/sweep/coordinator counters
 //	GET    /healthz              liveness + the same counters
 //

@@ -13,12 +13,14 @@
 // coordinated by a ciaoserve (spec field "distributed": true), run
 // workers instead: -worker leases shards from the server, executes
 // them, and uploads the records — no local store, no manual sharding.
+// -tags and -maxcells advertise what the host can run, so shards whose
+// spec carries "requires" constraints route only to matching workers.
 //
 //	ciaosweep -spec examples/sweep-l1-capacity.json -dir sweeps/l1
 //	^C ...
 //	ciaosweep -spec examples/sweep-l1-capacity.json -dir sweeps/l1 -resume
 //	ciaosweep -spec spec.json -dir sweeps/merged -merge sweeps/a,sweeps/b
-//	ciaosweep -worker http://coordinator:8080
+//	ciaosweep -worker http://coordinator:8080 -tags bigmem,gpu
 package main
 
 import (
@@ -55,6 +57,8 @@ func main() {
 		every     = flag.Duration("progress", 2*time.Second, "progress print interval (0 disables)")
 		workerURL = flag.String("worker", "", "run as a distributed sweep worker against this coordinator URL")
 		name      = flag.String("name", "", "worker name (default hostname-pid)")
+		tags      = flag.String("tags", "", "worker: comma-separated capability tags to advertise (e.g. bigmem,gpu)")
+		maxCells  = flag.Int("maxcells", 0, "worker: largest shard (in cells) to accept per lease (0 = unlimited)")
 		idleExit  = flag.Duration("idle-exit", 0, "worker: exit after the coordinator has been idle this long (0 = poll forever)")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: lease poll interval when no shard is available (±25% jitter)")
 	)
@@ -65,7 +69,7 @@ func main() {
 	var err error
 	switch {
 	case *workerURL != "":
-		err = runWorker(*workerURL, *name, *workers, *entries, *idleExit, *poll)
+		err = runWorker(*workerURL, *name, *tags, *workers, *entries, *maxCells, *idleExit, *poll)
 	case *merge != "":
 		err = runMerge(*specPath, *dir, *merge)
 	default:
@@ -78,13 +82,15 @@ func main() {
 
 // runWorker loops leasing shards from a coordinator until interrupted
 // (or, with -idle-exit, until the coordinator stays idle that long).
-func runWorker(url, name string, workers, entries int, idleExit, poll time.Duration) error {
+func runWorker(url, name, tags string, workers, entries, maxCells int, idleExit, poll time.Duration) error {
 	engine := service.NewEngine(service.Config{Workers: workers, CacheEntries: entries})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := coord.RunWorker(ctx, coord.WorkerConfig{
 		URL:      url,
 		Name:     name,
+		Tags:     splitTags(tags),
+		MaxCells: maxCells,
 		Engine:   engine,
 		Poll:     poll,
 		IdleExit: idleExit,
@@ -94,6 +100,15 @@ func runWorker(url, name string, workers, entries int, idleExit, poll time.Durat
 		return nil
 	}
 	return err
+}
+
+// splitTags turns the comma-separated -tags flag into a list
+// (normalization and validation happen in RunWorker).
+func splitTags(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 // runMerge collapses hand-sharded stores into one canonical store.

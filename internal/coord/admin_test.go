@@ -1,0 +1,404 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// postAdmin hits one admin endpoint over HTTP and returns the status
+// code.
+func postAdmin(t *testing.T, srv *httptest.Server, path, sweepID string, shard int) int {
+	t.Helper()
+	body, _ := json.Marshal(adminRequest{Sweep: sweepID, Shard: &shard})
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestAdminForceExpireReassignsWithinOnePoll is the acceptance
+// criterion: a lease force-expired through POST /coord/admin/expire is
+// granted to the very next lease poll — no TTL wait — and the old
+// holder's heartbeat answers stale.
+func TestAdminForceExpireReassignsWithinOnePoll(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	// TTL a minute: organic expiry cannot be what re-assigns the shard.
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+	d, err := hub.Distribute("run-1", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Cancel()
+	c := d.(*Coordinator)
+
+	l, ok := c.Lease(wid("wedged"))
+	if !ok {
+		t.Fatal("no lease")
+	}
+	// Expiring a pending shard is a 409; the wedged one expires fine.
+	other := 1 - l.Shard
+	if code := postAdmin(t, srv, "/coord/admin/expire", "run-1", other); code != http.StatusConflict {
+		t.Fatalf("expire of a pending shard = %d, want 409", code)
+	}
+	if code := postAdmin(t, srv, "/coord/admin/expire", "run-1", l.Shard); code != http.StatusOK {
+		t.Fatalf("admin expire = %d, want 200", code)
+	}
+	if c.Heartbeat(wid("wedged"), l.Shard) {
+		t.Fatal("force-expired lease still answers heartbeats")
+	}
+	// The very next poll re-assigns the shard, same cells.
+	l2, ok := c.Lease(wid("fresh"))
+	if !ok {
+		t.Fatal("force-expired shard not re-leased on the next poll")
+	}
+	if l2.Shard != l.Shard {
+		t.Fatalf("next poll got shard %d, want the force-expired %d", l2.Shard, l.Shard)
+	}
+	snap := hub.counters.Snapshot()
+	if snap.AdminExpired != 1 || snap.LeasesGranted != 2 {
+		t.Fatalf("counters = %+v, want 1 admin_expired and 2 grants", snap)
+	}
+	// Unknown sweeps 404; a request missing the shard field is a 400,
+	// never an action against shard 0.
+	if code := postAdmin(t, srv, "/coord/admin/expire", "no-such", 0); code != http.StatusNotFound {
+		t.Fatalf("expire on unknown sweep = %d, want 404", code)
+	}
+	resp, err := http.Post(srv.URL+"/coord/admin/expire", "application/json", bytes.NewReader([]byte(`{"sweep":"run-1"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shard-less admin request = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAdminReleaseResetsLeaseBudget: the lease cap fails *silent*
+// livelock; an explicit operator release is informed consent to
+// retry. A shard force-expired (or unquarantined) at the cap must
+// re-lease instead of terminally failing the sweep on the next poll —
+// and the reset must survive a crash, since admin actions persist as
+// a journal snapshot.
+func TestAdminReleaseResetsLeaseBudget(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, dir := newStore(t, spec, cells)
+
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute, MaxLeases: 1})
+	d, err := hub.Distribute("run-1", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(*Coordinator)
+	l, ok := c.Lease(wid("wedged"))
+	if !ok {
+		t.Fatal("no lease")
+	}
+	// The shard is at MaxLeases=1. Force-expire, then crash before
+	// anyone re-leases: the budget reset must be in the journal.
+	if err := c.AdminExpire(l.Shard); err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // crash
+
+	st2, err := sweep.Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	hub2 := NewHub(Config{ShardSize: 4, TTL: time.Minute, MaxLeases: 1})
+	d2, _, err := hub2.Recover(spec, cells, st2, nil)
+	if err != nil || d2 == nil {
+		t.Fatalf("Recover = (%v, %v)", d2, err)
+	}
+	c2 := d2.(*Coordinator)
+	l2, ok := c2.Lease(wid("fresh"))
+	if !ok {
+		t.Fatalf("released shard refused after recovery; progress %+v", d2.Progress())
+	}
+	if d2.Progress().State != sweep.StateRunning {
+		t.Fatalf("sweep state = %+v, want still running (not failed at the cap)", d2.Progress())
+	}
+	for _, lease := range []Lease{l2} {
+		if _, _, err := c2.Complete("fresh", lease.Shard, runLeasedShard(t, lease, cells)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lrest, ok := c2.Lease(wid("fresh")); ok {
+		if _, _, err := c2.Complete("fresh", lrest.Shard, runLeasedShard(t, lrest, cells)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, d2)
+	if final := d2.Progress(); final.State != sweep.StateDone || final.Done != 8 {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+// TestQuarantineParksShardUntilDoneWithQuarantined: a quarantined
+// shard is never leased again, its holder goes stale, and once every
+// other shard retires the sweep finishes "done-with-quarantined" with
+// the parked cells absent from the store.
+func TestQuarantineParksShardUntilDoneWithQuarantined(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, dir := newStore(t, spec, cells)
+	defer store.Close()
+
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+	d, err := hub.Distribute("run-1", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(*Coordinator)
+
+	// The poisonous shard is leased when the operator parks it.
+	l, ok := c.Lease(wid("victim"))
+	if !ok {
+		t.Fatal("no lease")
+	}
+	if code := postAdmin(t, srv, "/coord/admin/quarantine", "run-1", l.Shard); code != http.StatusOK {
+		t.Fatalf("quarantine = %d, want 200", code)
+	}
+	if c.Heartbeat(wid("victim"), l.Shard) {
+		t.Fatal("quarantined shard still answers its old holder's heartbeats")
+	}
+	// Quarantine is idempotent; no worker can lease the parked shard.
+	if code := postAdmin(t, srv, "/coord/admin/quarantine", "run-1", l.Shard); code != http.StatusOK {
+		t.Fatal("re-quarantine should be a no-op 200")
+	}
+	l2, ok := c.Lease(wid("w2"))
+	if !ok {
+		t.Fatal("healthy shard not leased")
+	}
+	if l2.Shard == l.Shard {
+		t.Fatal("quarantined shard was leased")
+	}
+	if snap := c.Snapshot(); snap.QuarantinedShards != 1 {
+		t.Fatalf("snapshot = %+v, want 1 quarantined shard", snap)
+	}
+
+	// Finishing the healthy shard ends the sweep done-with-quarantined.
+	if _, _, err := c.Complete("w2", l2.Shard, runLeasedShard(t, l2, cells)); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, d)
+	final := d.Progress()
+	if final.State != sweep.StateDoneQuarantined || final.Done != 4 {
+		t.Fatalf("final = %+v, want done-with-quarantined with 4 done", final)
+	}
+	perKey := okRecordsPerKey(t, dir)
+	if len(perKey) != 4 {
+		t.Fatalf("store holds %d cells, want only the healthy shard's 4", len(perKey))
+	}
+	// Admin actions against the finished sweep 404 (it unregistered).
+	if code := postAdmin(t, srv, "/coord/admin/unquarantine", "run-1", l.Shard); code != http.StatusNotFound {
+		t.Fatalf("unquarantine after finish = %d, want 404", code)
+	}
+	if got := hub.counters.Snapshot().ShardsQuarantined; got != 1 {
+		t.Errorf("shards_quarantined = %d, want 1", got)
+	}
+}
+
+// TestUnquarantineReleasesShard: releasing a parked shard returns it
+// to the pending pool and the sweep finishes clean.
+func TestUnquarantineReleasesShard(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	// Two shards: quarantining one must leave the sweep running (a
+	// quarantine of the *last* open shard finishes it immediately).
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+	d, err := hub.Distribute("run-1", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(*Coordinator)
+
+	if code := postAdmin(t, srv, "/coord/admin/quarantine", "run-1", 0); code != http.StatusOK {
+		t.Fatalf("quarantine = %d", code)
+	}
+	// The only leasable shard is the healthy one (held, not completed,
+	// so the sweep cannot finish under the admin checks below).
+	healthy, ok := c.Lease(wid("w1"))
+	if !ok {
+		t.Fatal("healthy shard not leased")
+	}
+	if healthy.Shard == 0 {
+		t.Fatal("quarantined shard leased")
+	}
+	// Force-expiring a quarantined (not leased) shard is a 409.
+	if code := postAdmin(t, srv, "/coord/admin/expire", "run-1", 0); code != http.StatusConflict {
+		t.Fatal("expire of a quarantined shard should 409")
+	}
+	if code := postAdmin(t, srv, "/coord/admin/unquarantine", "run-1", 0); code != http.StatusOK {
+		t.Fatalf("unquarantine = %d", code)
+	}
+	l, ok := c.Lease(wid("w1"))
+	if !ok || l.Shard != 0 {
+		t.Fatalf("released shard not leased (ok=%v shard=%d)", ok, l.Shard)
+	}
+	for _, lease := range []Lease{healthy, l} {
+		if _, _, err := c.Complete("w1", lease.Shard, runLeasedShard(t, lease, cells)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, d)
+	if final := d.Progress(); final.State != sweep.StateDone || final.Done != 8 {
+		t.Fatalf("final = %+v", final)
+	}
+	if got := hub.counters.Snapshot().ShardsUnquarantined; got != 1 {
+		t.Errorf("shards_unquarantined = %d, want 1", got)
+	}
+}
+
+// TestQuarantineSurvivesRestart is the persistence acceptance
+// criterion: a quarantine journals, so a coordinator rebuilt from the
+// journal after a crash still refuses to lease the parked shard — and
+// still finishes done-with-quarantined.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, dir := newStore(t, spec, cells)
+
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	d, err := hub.Distribute("run-7", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.(*Coordinator)
+	if err := c.Quarantine(1); err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // crash: no finish line journaled
+
+	st2, err := sweep.Open(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	hub2 := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	d2, id, err := hub2.Recover(spec, cells, st2, nil)
+	if err != nil || d2 == nil {
+		t.Fatalf("Recover = (%v, %q, %v)", d2, id, err)
+	}
+	c2 := d2.(*Coordinator)
+	snap := c2.Snapshot()
+	if snap.QuarantinedShards != 1 || snap.PendingShards != 1 {
+		t.Fatalf("recovered table = %+v, want the quarantine preserved", snap)
+	}
+	// Only the healthy shard leases; completing it finishes the sweep
+	// done-with-quarantined across the restart.
+	l, ok := c2.Lease(wid("w1"))
+	if !ok {
+		t.Fatal("healthy shard not leased after recovery")
+	}
+	if l.Shard == 1 {
+		t.Fatal("recovered coordinator leased the quarantined shard")
+	}
+	if _, _, err := c2.Complete("w1", l.Shard, runLeasedShard(t, l, cells)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Lease(wid("w1")); ok {
+		t.Fatal("a second shard leased; quarantine lost")
+	}
+	waitDone(t, d2)
+	if final := d2.Progress(); final.State != sweep.StateDoneQuarantined {
+		t.Fatalf("final = %+v, want done-with-quarantined", final)
+	}
+	// The finished journal opts out of any further recovery.
+	if need, err := hub2.NeedsRecovery(dir); need || err != nil {
+		t.Fatalf("NeedsRecovery after finish = (%v, %v), want false", need, err)
+	}
+}
+
+// TestAdminLeaseTable: GET /coord/admin/leases reports live leases
+// with ages, worker tags, renew counts and per-shard requirements.
+func TestAdminLeaseTable(t *testing.T) {
+	spec, cells := mixedSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	hub := NewHub(Config{ShardSize: 4, TTL: time.Minute})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+	d, err := hub.Distribute("run-1", spec, cells, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Cancel()
+	c := d.(*Coordinator)
+
+	l, ok := c.Lease(wid("holder", "bigmem"))
+	if !ok {
+		t.Fatal("no lease")
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Heartbeat(wid("holder", "bigmem"), l.Shard) {
+			t.Fatal("heartbeat refused")
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/coord/admin/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Sweeps []LeaseTable `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sweeps) != 1 {
+		t.Fatalf("lease table lists %d sweeps, want 1", len(out.Sweeps))
+	}
+	tbl := out.Sweeps[0]
+	if tbl.Sweep != "run-1" || len(tbl.Shards) != 2 {
+		t.Fatalf("table = %+v, want run-1 with 2 shards", tbl)
+	}
+	var leased *ShardLease
+	sawRequires := false
+	for i := range tbl.Shards {
+		row := &tbl.Shards[i]
+		if row.State == shardStateLeased {
+			leased = row
+		}
+		if len(row.Requires) == 1 && row.Requires[0] == "bigmem" {
+			sawRequires = true
+		}
+	}
+	if leased == nil {
+		t.Fatalf("no leased row in %+v", tbl.Shards)
+	}
+	if leased.Worker != "holder" || leased.Renews != 3 || leased.Leases != 1 {
+		t.Fatalf("leased row = %+v, want holder with 3 renews", leased)
+	}
+	if leased.ExpiresInMS <= 0 {
+		t.Errorf("leased row expires_in_ms = %d, want positive (fresh heartbeat)", leased.ExpiresInMS)
+	}
+	if len(leased.WorkerTags) != 1 || leased.WorkerTags[0] != "bigmem" {
+		t.Errorf("leased row worker_tags = %v, want [bigmem]", leased.WorkerTags)
+	}
+	if !sawRequires {
+		t.Error("no row carries the bigmem requirement")
+	}
+	if len(tbl.Workers) != 1 || tbl.Workers[0].Name != "holder" {
+		t.Fatalf("workers = %+v, want the one seen worker", tbl.Workers)
+	}
+}

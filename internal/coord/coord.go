@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,16 +81,18 @@ func (c Config) maxLeases() int {
 type shardState int
 
 const (
-	shardPending shardState = iota // waiting for a worker
-	shardLeased                    // held by a worker, TTL running
-	shardDone                      // records merged
+	shardPending     shardState = iota // waiting for a worker
+	shardLeased                        // held by a worker, TTL running
+	shardDone                          // records merged
+	shardQuarantined                   // parked by an operator; never leased
 )
 
 // Shard state names on the wire (journal snapshots).
 const (
-	shardStatePending = "pending"
-	shardStateLeased  = "leased"
-	shardStateDone    = "done"
+	shardStatePending     = "pending"
+	shardStateLeased      = "leased"
+	shardStateDone        = "done"
+	shardStateQuarantined = "quarantined"
 )
 
 func (s shardState) name() string {
@@ -97,6 +101,8 @@ func (s shardState) name() string {
 		return shardStateLeased
 	case shardDone:
 		return shardStateDone
+	case shardQuarantined:
+		return shardStateQuarantined
 	default:
 		return shardStatePending
 	}
@@ -110,18 +116,65 @@ func shardStateFromName(name string) (shardState, bool) {
 		return shardLeased, true
 	case shardStateDone:
 		return shardDone, true
+	case shardStateQuarantined:
+		return shardQuarantined, true
 	}
 	return 0, false
 }
 
-// shard is one leasable unit of work: an explicit set of cell indexes.
+// shard is one leasable unit of work: an explicit set of cell indexes
+// plus the capability tags a worker must advertise to lease it (the
+// partition groups cells by requirement, so every shard is
+// homogeneous — one constraint per lease).
 type shard struct {
-	id      int
-	indexes []int
-	state   shardState
-	worker  string
-	expires time.Time
-	leases  int // times handed out (re-assignment shows as >1)
+	id       int
+	indexes  []int
+	requires []string
+	state    shardState
+	worker   string
+	expires  time.Time
+	granted  time.Time // when the current lease was handed out
+	leases   int       // times handed out (re-assignment shows as >1)
+	renews   int       // heartbeats received for the current lease
+}
+
+// WorkerID identifies a leasing worker plus the capabilities it
+// advertises: tags a shard's requires must be a subset of, and an
+// optional ceiling on how many cells it will accept per lease.
+type WorkerID struct {
+	Name     string
+	Tags     []string
+	MaxCells int
+}
+
+// workerInfo is what the coordinator remembers about a worker from its
+// last lease poll or heartbeat — enough to route shards and to tell a
+// starved constraint from a merely idle fleet.
+type workerInfo struct {
+	tags     map[string]bool
+	tagList  []string
+	maxCells int
+	seen     time.Time
+}
+
+// fits reports whether this worker can serve a shard needing the given
+// tags with that many cells left.
+func (w *workerInfo) fits(requires []string, cells int) bool {
+	if w.maxCells > 0 && cells > w.maxCells {
+		return false
+	}
+	return w.fitsTags(requires)
+}
+
+// fitsTags is the tag half of fits — separable because it does not
+// depend on how many cells remain in the shard.
+func (w *workerInfo) fitsTags(requires []string) bool {
+	for _, tag := range requires {
+		if !w.tags[tag] {
+			return false
+		}
+	}
+	return true
 }
 
 // cellOutcome tracks per-cell merge state so progress counts each cell
@@ -150,10 +203,45 @@ type Coordinator struct {
 	shards     []*shard
 	cells      map[string]cellOutcome // cell key → merge outcome
 	keyByIndex map[int]string         // cell index → cell key
+	reqByIndex map[int][]string       // cell index → required tags
+	workers    map[string]*workerInfo // worker name → last-seen capabilities
 	prog       sweep.Progress
 	gm         sweep.Geo
 	closed     bool
 	done       chan struct{}
+}
+
+// appendShards groups todo cell indexes by their capability
+// requirements and splits each group into shards of at most size
+// cells, appending to dst with consecutive ids. Grouping keeps every
+// shard homogeneous, so a lease either fits a worker or it does not —
+// no shard is half-runnable.
+func appendShards(dst []*shard, todo []int, reqByIndex map[int][]string, size int) []*shard {
+	type group struct {
+		requires []string
+		idxs     []int
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, idx := range todo {
+		req := reqByIndex[idx]
+		sig := strings.Join(req, ",")
+		g, ok := groups[sig]
+		if !ok {
+			g = &group{requires: req}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		g.idxs = append(g.idxs, idx)
+	}
+	for _, sig := range order {
+		g := groups[sig]
+		for start := 0; start < len(g.idxs); start += size {
+			end := min(start+size, len(g.idxs))
+			dst = append(dst, &shard{id: len(dst), indexes: g.idxs[start:end], requires: g.requires})
+		}
+	}
+	return dst
 }
 
 // NewCoordinator partitions the sweep's incomplete cells into shards
@@ -175,6 +263,8 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 		onProg:     onProgress,
 		cells:      make(map[string]cellOutcome, len(cells)),
 		keyByIndex: make(map[int]string, len(cells)),
+		reqByIndex: make(map[int][]string, len(cells)),
+		workers:    map[string]*workerInfo{},
 		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
 		done:       make(chan struct{}),
 	}
@@ -183,6 +273,7 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 	for _, cell := range cells {
 		key := cell.Key()
 		c.keyByIndex[cell.Index] = key
+		c.reqByIndex[cell.Index] = cell.Requires
 		if ipc, ok := completed[key]; ok {
 			c.cells[key] = cellOK
 			c.prog.Done++
@@ -193,14 +284,7 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 		c.cells[key] = cellPendingOutcome
 		todo = append(todo, cell.Index)
 	}
-	size := cfg.shardSize()
-	for start := 0; start < len(todo); start += size {
-		end := start + size
-		if end > len(todo) {
-			end = len(todo)
-		}
-		c.shards = append(c.shards, &shard{id: len(c.shards), indexes: todo[start:end]})
-	}
+	c.shards = appendShards(nil, todo, c.reqByIndex, cfg.shardSize())
 	jr, err := openJournal(store.CoordJournalPath(), counters)
 	if err != nil {
 		log.Printf("coord: %v (sweep %s runs without crash recovery)", err, id)
@@ -268,6 +352,8 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 		onProg:     onProgress,
 		cells:      make(map[string]cellOutcome, len(cells)),
 		keyByIndex: make(map[int]string, len(cells)),
+		reqByIndex: make(map[int][]string, len(cells)),
+		workers:    map[string]*workerInfo{},
 		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
 		done:       make(chan struct{}),
 	}
@@ -275,6 +361,7 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 	for _, cell := range cells {
 		key := cell.Key()
 		c.keyByIndex[cell.Index] = key
+		c.reqByIndex[cell.Index] = cell.Requires
 		if ipc, ok := completed[key]; ok {
 			c.cells[key] = cellOK
 			c.prog.Done++
@@ -298,13 +385,18 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 		if !ok {
 			state = shardPending // unknown state: safe to re-lease
 		}
-		sh := &shard{id: len(c.shards), state: state, worker: snap.Worker, leases: snap.Leases}
+		sh := &shard{id: len(c.shards), state: state, worker: snap.Worker, leases: snap.Leases, renews: snap.Renews}
 		for _, idx := range snap.Indexes {
 			if _, known := c.keyByIndex[idx]; known {
 				sh.indexes = append(sh.indexes, idx)
 				covered[idx] = true
 			}
 		}
+		// Requires come from the re-expanded cells, not the journal (the
+		// manifest pins the spec, so the cells are authoritative; the
+		// journaled copy is for operators reading the file). Union over
+		// the shard in case a corrupt journal mixed groups.
+		sh.requires = unionRequires(c.reqByIndex, sh.indexes)
 		if sh.state == shardDone && !c.shardSettledLocked(sh) {
 			// The journal's retire outlived some of the shard's result
 			// lines (a power failure can persist one unsynced file and
@@ -333,14 +425,7 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 	}
 	if len(orphans) > 0 {
 		log.Printf("coord: %s: %d cell(s) missing from the journaled partition; re-sharding them", c.id, len(orphans))
-		size := cfg.shardSize()
-		for start := 0; start < len(orphans); start += size {
-			end := start + size
-			if end > len(orphans) {
-				end = len(orphans)
-			}
-			c.shards = append(c.shards, &shard{id: len(c.shards), indexes: orphans[start:end]})
-		}
+		c.shards = appendShards(c.shards, orphans, c.reqByIndex, cfg.shardSize())
 	}
 
 	counters.SweepsRecovered.Inc()
@@ -353,14 +438,29 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 	// Recovery is itself a compaction: the replayed history collapses
 	// into one snapshot of the reconstructed table.
 	c.compactJournalLocked()
-	if c.allDoneLocked() {
-		// The crash lost only the terminal line (every shard had
-		// already retired).
-		c.finishLocked(sweep.StateDone, "")
-	}
+	// The crash may have lost only the terminal line (every shard had
+	// already retired, or only quarantined ones remained).
+	c.maybeFinishLocked()
 	c.notifyLocked()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// unionRequires merges the required tags of the given cell indexes
+// into one sorted, deduplicated set.
+func unionRequires(reqByIndex map[int][]string, indexes []int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, idx := range indexes {
+		for _, tag := range reqByIndex[idx] {
+			if !seen[tag] {
+				seen[tag] = true
+				out = append(out, tag)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ID returns the sweep run identifier the coordinator serves.
@@ -369,12 +469,16 @@ func (c *Coordinator) ID() string { return c.id }
 // Done is closed when the sweep reaches a terminal state.
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
-// Progress snapshots the sweep.
+// Progress snapshots the sweep. Starved is computed fresh against the
+// workers seen recently, so it decays as mismatched workers leave.
 func (c *Coordinator) Progress() sweep.Progress {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := c.prog
 	p.GeoMeanIPC = c.gm.Mean()
+	if !c.closed {
+		p.Starved = c.starvedCellsLocked(time.Now())
+	}
 	return p
 }
 
@@ -390,22 +494,139 @@ func (c *Coordinator) Cancel() {
 	}
 }
 
-// Lease hands the worker a pending shard, reclaiming expired leases
-// first — expiry happens only here (on demand, when someone actually
-// wants the work), so a lease past its TTL whose worker is merely slow
-// survives until another worker asks. The granted index set is
-// filtered to cells without a stored success, so a re-lease after a
-// partial stale upload re-runs only what is missing. ok is false when
-// nothing is pending right now — either the sweep is finished, or
-// every remaining shard is leased out and the worker should retry
-// after a poll interval.
-func (c *Coordinator) Lease(worker string) (l Lease, ok bool) {
+// observeWorkerLocked records a worker's advertised capabilities and
+// refreshes its last-seen time — the liveness signal starvation
+// accounting runs against. Tags canonicalise through the same
+// sweep.NormalizeTags the spec side uses, so a worker tag and a shard
+// requirement can never disagree on form; malformed tags (which the
+// HTTP handlers already reject with a 400) are dropped wholesale
+// rather than recorded as unmatchable strings. The map is pruned of
+// long-gone workers so a churning fleet cannot grow it without bound.
+func (c *Coordinator) observeWorkerLocked(w WorkerID, now time.Time) *workerInfo {
+	list, err := sweep.NormalizeTags(w.Tags)
+	if err != nil {
+		log.Printf("coord: worker %q advertises malformed tags, ignoring them all: %v", w.Name, err)
+		list = nil
+	}
+	tags := make(map[string]bool, len(list))
+	for _, tag := range list {
+		tags[tag] = true
+	}
+	info := &workerInfo{tags: tags, tagList: list, maxCells: w.MaxCells, seen: now}
+	if w.Name == "" {
+		return info // not tracked; name-less callers cannot heartbeat anyway
+	}
+	if len(c.workers) > 128 {
+		for name, old := range c.workers {
+			if now.Sub(old.seen) > 10*c.ttl {
+				delete(c.workers, name)
+			}
+		}
+	}
+	c.workers[w.Name] = info
+	return info
+}
+
+// workerLiveFactor: a worker counts as live for starvation accounting
+// while its last lease poll or heartbeat is within this many TTLs.
+const workerLiveFactor = 2
+
+// starvedCellsLocked counts unsettled cells of pending shards that no
+// live worker can serve — the shard's required tags (or its size, for
+// workers with a max-cells hint) rule everyone out. An unconstrained
+// shard with no workers around at all is merely idle, not starved; a
+// constrained shard with nobody matching is starved even then, because
+// only a new, differently-equipped worker can ever unblock it.
+//
+// The common cases — an idle fleet, or a live worker whose size
+// ceiling covers the whole shard (len(indexes) bounds what remains) —
+// are decided without touching the shard's cells, so this costs
+// O(shards × live workers) per call; only shards that might actually
+// be starved pay a per-cell scan.
+func (c *Coordinator) starvedCellsLocked(now time.Time) int {
+	var live []*workerInfo
+	window := time.Duration(workerLiveFactor) * c.ttl
+	for _, info := range c.workers {
+		if now.Sub(info.seen) <= window {
+			live = append(live, info)
+		}
+	}
+	starved := 0
+	for _, sh := range c.shards {
+		if sh.state != shardPending {
+			continue
+		}
+		if len(sh.requires) == 0 && len(live) == 0 {
+			continue // no fleet yet ≠ starved
+		}
+		fit := false
+		for _, w := range live {
+			if (w.maxCells == 0 || w.maxCells >= len(sh.indexes)) && w.fitsTags(sh.requires) {
+				fit = true
+				break
+			}
+		}
+		if fit {
+			continue
+		}
+		n := 0
+		for _, idx := range sh.indexes {
+			if c.cells[c.keyByIndex[idx]] != cellOK {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		satisfiable := false
+		for _, w := range live {
+			if w.fits(sh.requires, n) {
+				satisfiable = true
+				break
+			}
+		}
+		if !satisfiable {
+			starved += n
+		}
+	}
+	return starved
+}
+
+// Lease hands the worker a pending shard it is capable of running,
+// reclaiming expired leases first — expiry happens only here (on
+// demand, when someone actually wants the work), so a lease past its
+// TTL whose worker is merely slow survives until another worker asks.
+// Shards whose required tags the worker does not advertise (or whose
+// remaining cells exceed its max-cells hint) are skipped; they wait
+// for a matching worker, counting toward the starvation metrics. The
+// granted index set is filtered to cells without a stored success, so
+// a re-lease after a partial stale upload re-runs only what is
+// missing. ok is false when nothing this worker can serve is pending
+// right now — the sweep is finished, every remaining shard is leased
+// out, or the rest needs capabilities this worker lacks (in which
+// case the denial counts toward the starvation metrics).
+func (c *Coordinator) Lease(w WorkerID) (l Lease, ok bool) {
+	l, ok, constrained := c.leaseScan(w)
+	if !ok && constrained {
+		c.noteStarved()
+	}
+	return l, ok
+}
+
+// leaseScan is Lease minus the starvation accounting: constrained
+// reports that pending work exists which this worker cannot serve.
+// The hub folds that flag across its coordinators, so a worker that
+// this sweep starved but another sweep served in the same poll is not
+// miscounted.
+func (c *Coordinator) leaseScan(w WorkerID) (l Lease, ok, constrained bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return Lease{}, false
+		return Lease{}, false, false
 	}
-	c.expireLocked(time.Now())
+	now := time.Now()
+	info := c.observeWorkerLocked(w, now)
+	c.expireLocked(now)
 	for _, sh := range c.shards {
 		if sh.state != shardPending {
 			continue
@@ -419,64 +640,104 @@ func (c *Coordinator) Lease(worker string) (l Lease, ok bool) {
 		if len(indexes) == 0 {
 			// Stale uploads filled the shard in while it sat pending.
 			c.retireShardLocked(sh)
-			if c.allDoneLocked() {
-				c.finishLocked(sweep.StateDone, "")
+			if c.maybeFinishLocked() {
 				c.notifyLocked()
-				return Lease{}, false
+				return Lease{}, false, false
 			}
+			continue
+		}
+		if !info.fits(sh.requires, len(indexes)) {
+			constrained = true
 			continue
 		}
 		if sh.leases >= c.maxLeases {
 			// Every holder of this shard vanished or failed to upload.
 			// Re-leasing it forever would livelock the sweep as
 			// "running"; fail terminally instead so the manager, the
-			// workers (idle-exit) and CI all see a verdict.
+			// workers (idle-exit) and CI all see a verdict. (Operators
+			// can quarantine a known-poisonous shard before it gets
+			// here, letting the rest of the sweep finish.)
 			c.finishLocked(sweep.StateFailed, fmt.Sprintf(
 				"coord: shard %d not completed after %d leases; giving up", sh.id, sh.leases))
 			c.notifyLocked()
-			return Lease{}, false
+			return Lease{}, false, false
 		}
 		sh.state = shardLeased
-		sh.worker = worker
-		sh.expires = time.Now().Add(c.ttl)
+		sh.worker = w.Name
+		sh.expires = now.Add(c.ttl)
+		sh.granted = now
 		sh.leases++
+		sh.renews = 0
 		c.counters.LeasesGranted.Inc()
 		if sh.leases > 1 {
 			c.counters.ShardsReassigned.Inc()
 		}
 		exp := sh.expires
-		c.journalLocked(journalEntry{T: entryLease, Shard: sh.id, Worker: worker, Expires: &exp, Leases: sh.leases})
+		c.journalLocked(journalEntry{T: entryLease, Shard: sh.id, Worker: w.Name, Expires: &exp, Leases: sh.leases})
 		return Lease{
 			Sweep:   c.id,
 			Shard:   sh.id,
 			Indexes: indexes,
 			Spec:    c.spec,
 			TTL:     c.ttl,
-		}, true
+		}, true, false
 	}
-	return Lease{}, false
+	return Lease{}, false, constrained
+}
+
+// noteStarved counts one lease poll denied purely by capability
+// constraints and pushes the refreshed starvation figure to the
+// observer, so /sweeps shows "starved" instead of silently hanging.
+func (c *Coordinator) noteStarved() {
+	c.counters.LeasesStarved.Inc()
+	c.refreshStarved()
+}
+
+// refreshStarved re-delivers progress (with a fresh starved count) to
+// the observer without touching any counter.
+func (c *Coordinator) refreshStarved() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.notifyLocked()
+	}
+}
+
+// Observe records a worker's capabilities without leasing. The hub
+// calls it so a worker that leased (or is heartbeating) elsewhere
+// stays a live capability for every other sweep's starvation
+// accounting — busy is not gone.
+func (c *Coordinator) Observe(w WorkerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.observeWorkerLocked(w, time.Now())
+	}
 }
 
 // Heartbeat renews the worker's lease on a shard. A false return means
-// the lease is stale — the shard was reclaimed, re-assigned, or the
-// sweep is over — and the worker should abandon the shard.
-// Deliberately no expiry sweep here: a heartbeat that was merely
-// delayed (slow network, or queued behind a long merge on the
+// the lease is stale — the shard was reclaimed, re-assigned,
+// quarantined, or the sweep is over — and the worker should abandon
+// the shard. Deliberately no expiry sweep here: a heartbeat that was
+// merely delayed (slow network, or queued behind a long merge on the
 // coordinator mutex) revives a past-TTL lease as long as nothing has
 // reclaimed the shard yet, instead of killing a healthy worker.
-func (c *Coordinator) Heartbeat(worker string, shardID int) bool {
+func (c *Coordinator) Heartbeat(w WorkerID, shardID int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || shardID < 0 || shardID >= len(c.shards) {
 		c.counters.StaleAcks.Inc()
 		return false
 	}
+	now := time.Now()
+	c.observeWorkerLocked(w, now)
 	sh := c.shards[shardID]
-	if sh.state != shardLeased || sh.worker != worker {
+	if sh.state != shardLeased || sh.worker != w.Name {
 		c.counters.StaleAcks.Inc()
 		return false
 	}
-	sh.expires = time.Now().Add(c.ttl)
+	sh.expires = now.Add(c.ttl)
+	sh.renews++
 	exp := sh.expires
 	c.journalLocked(journalEntry{T: entryRenew, Shard: sh.id, Expires: &exp})
 	return true
@@ -521,9 +782,7 @@ func (c *Coordinator) Complete(worker string, shardID int, recs []sweep.CellReco
 		c.retireShardLocked(sh)
 	}
 	c.promoteShardsLocked()
-	if c.allDoneLocked() {
-		c.finishLocked(sweep.StateDone, "")
-	}
+	c.maybeFinishLocked()
 	c.notifyLocked()
 	return merged, skipped, nil
 }
@@ -553,6 +812,9 @@ func (c *Coordinator) retireShardLocked(sh *shard) {
 // stored success — a stale upload can land the last missing cells of a
 // shard that meanwhile expired or was re-leased, and re-running such a
 // shard would be pure waste (its records would all dedup away).
+// Quarantined shards promote too: a quarantine parks *unrun* work, and
+// a shard whose cells all carry stored successes has nothing left to
+// protect anyone from.
 func (c *Coordinator) promoteShardsLocked() {
 	for _, sh := range c.shards {
 		if sh.state == shardDone {
@@ -627,12 +889,13 @@ func (c *Coordinator) mergeLocked(recs []sweep.CellRecord) (merged, skipped int,
 // shard-table fields carry a "shards_" prefix so they cannot shadow
 // the embedded Progress's cell-level done/total in the JSON.
 type Snapshot struct {
-	Sweep         string `json:"sweep"`
-	Name          string `json:"name"`
-	Shards        int    `json:"shards"`
-	PendingShards int    `json:"shards_pending"`
-	LeasedShards  int    `json:"shards_leased"`
-	DoneShards    int    `json:"shards_done"`
+	Sweep             string `json:"sweep"`
+	Name              string `json:"name"`
+	Shards            int    `json:"shards"`
+	PendingShards     int    `json:"shards_pending"`
+	LeasedShards      int    `json:"shards_leased"`
+	DoneShards        int    `json:"shards_done"`
+	QuarantinedShards int    `json:"shards_quarantined,omitempty"`
 	sweep.Progress
 }
 
@@ -651,11 +914,104 @@ func (c *Coordinator) Snapshot() Snapshot {
 			s.LeasedShards++
 		case shardDone:
 			s.DoneShards++
+		case shardQuarantined:
+			s.QuarantinedShards++
 		}
 	}
 	s.Progress = c.prog
 	s.Progress.GeoMeanIPC = c.gm.Mean()
+	if !c.closed {
+		s.Progress.Starved = c.starvedCellsLocked(time.Now())
+	}
 	return s
+}
+
+// ShardLease is one row of the admin lease table: where a shard is in
+// its lifecycle, who holds it, for how long, and what it demands.
+type ShardLease struct {
+	Shard      int      `json:"shard"`
+	State      string   `json:"state"`
+	Cells      int      `json:"cells"`
+	CellsLeft  int      `json:"cells_left"`
+	Requires   []string `json:"requires,omitempty"`
+	Worker     string   `json:"worker,omitempty"`
+	WorkerTags []string `json:"worker_tags,omitempty"`
+	Leases     int      `json:"leases"`
+	Renews     int      `json:"renews,omitempty"`
+	// AgeMS is how long the current lease has been held.
+	AgeMS int64 `json:"lease_age_ms,omitempty"`
+	// ExpiresInMS counts down to the lease's TTL; negative means it
+	// lapsed and awaits reclaim-on-demand.
+	ExpiresInMS int64 `json:"expires_in_ms,omitempty"`
+}
+
+// WorkerSeen is one worker the coordinator has heard from: its
+// advertised capabilities and how long ago it last polled or
+// heartbeat.
+type WorkerSeen struct {
+	Name       string   `json:"name"`
+	Tags       []string `json:"tags,omitempty"`
+	MaxCells   int      `json:"max_cells,omitempty"`
+	LastSeenMS int64    `json:"last_seen_ms"`
+}
+
+// LeaseTable is one sweep's full admin view: every shard row plus the
+// workers recently seen, for GET /coord/admin/leases.
+type LeaseTable struct {
+	Sweep   string       `json:"sweep"`
+	Name    string       `json:"name"`
+	Starved int          `json:"starved,omitempty"`
+	Shards  []ShardLease `json:"shards"`
+	Workers []WorkerSeen `json:"workers,omitempty"`
+}
+
+// LeaseTable snapshots the live lease table for operators.
+func (c *Coordinator) LeaseTable() LeaseTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	t := LeaseTable{Sweep: c.id, Name: c.spec.Name, Starved: c.starvedCellsLocked(now)}
+	for _, sh := range c.shards {
+		row := ShardLease{
+			Shard:    sh.id,
+			State:    sh.state.name(),
+			Cells:    len(sh.indexes),
+			Requires: sh.requires,
+			Leases:   sh.leases,
+			Renews:   sh.renews,
+		}
+		for _, idx := range sh.indexes {
+			if c.cells[c.keyByIndex[idx]] != cellOK {
+				row.CellsLeft++
+			}
+		}
+		if sh.state == shardLeased {
+			row.Worker = sh.worker
+			if !sh.granted.IsZero() {
+				row.AgeMS = now.Sub(sh.granted).Milliseconds()
+			}
+			row.ExpiresInMS = sh.expires.Sub(now).Milliseconds()
+			if info, ok := c.workers[sh.worker]; ok {
+				row.WorkerTags = info.tagList
+			}
+		}
+		t.Shards = append(t.Shards, row)
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info := c.workers[name]
+		t.Workers = append(t.Workers, WorkerSeen{
+			Name:       name,
+			Tags:       info.tagList,
+			MaxCells:   info.maxCells,
+			LastSeenMS: now.Sub(info.seen).Milliseconds(),
+		})
+	}
+	return t
 }
 
 // expireLocked returns shards whose lease TTL lapsed to the pending
@@ -673,13 +1029,132 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	}
 }
 
-func (c *Coordinator) allDoneLocked() bool {
+// maybeFinishLocked moves the sweep to its terminal state once no
+// shard is pending or leased: all-done finishes "done"; done plus at
+// least one quarantined shard finishes "done-with-quarantined" — the
+// operator parked those cells deliberately, and re-POSTing the spec
+// later starts a fresh run over exactly them. Reports whether the
+// sweep is now (or already was) finished.
+func (c *Coordinator) maybeFinishLocked() bool {
+	if c.closed {
+		return true
+	}
+	quarantined := 0
 	for _, sh := range c.shards {
-		if sh.state != shardDone {
+		switch sh.state {
+		case shardPending, shardLeased:
 			return false
+		case shardQuarantined:
+			quarantined++
 		}
 	}
+	if quarantined > 0 {
+		c.finishLocked(sweep.StateDoneQuarantined, "")
+	} else {
+		c.finishLocked(sweep.StateDone, "")
+	}
 	return true
+}
+
+// shardForAdminLocked resolves one shard for an admin action against a
+// live sweep.
+func (c *Coordinator) shardForAdminLocked(shardID int) (*shard, error) {
+	if c.closed {
+		return nil, fmt.Errorf("coord: sweep %s already finished", c.id)
+	}
+	if shardID < 0 || shardID >= len(c.shards) {
+		return nil, fmt.Errorf("coord: sweep %s has no shard %d", c.id, shardID)
+	}
+	return c.shards[shardID], nil
+}
+
+// AdminExpire force-expires a shard's lease: the holder's next
+// heartbeat answers stale and the shard re-assigns on the next lease
+// poll — the operator's lever against a wedged worker that keeps
+// heartbeating without progressing. The lease budget resets: the cap
+// exists to fail *silent* livelock loudly, and an explicit operator
+// release is informed consent to retry — without the reset, expiring
+// a shard already at the cap would terminally fail the sweep on the
+// very next poll. The whole mutation persists as a journal snapshot
+// (admin actions are rare; the synced rewrite also carries the reset,
+// which a delta entry could not).
+func (c *Coordinator) AdminExpire(shardID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, err := c.shardForAdminLocked(shardID)
+	if err != nil {
+		return err
+	}
+	if sh.state != shardLeased {
+		return fmt.Errorf("coord: shard %d is %s, not leased", shardID, sh.state.name())
+	}
+	log.Printf("coord: %s: admin force-expired shard %d (held by %s, %d renew(s))", c.id, sh.id, sh.worker, sh.renews)
+	sh.state = shardPending
+	sh.worker = ""
+	sh.leases = 0
+	c.counters.LeasesExpired.Inc()
+	c.counters.AdminExpired.Inc()
+	c.compactJournalLocked()
+	c.notifyLocked()
+	return nil
+}
+
+// Quarantine parks a shard: it is never leased again, its holder (if
+// any) goes stale, and once every other shard retires the sweep
+// finishes "done-with-quarantined" instead of hanging or burning
+// leases on a poisonous shard. Quarantining an already-quarantined
+// shard is a no-op; a done shard cannot be quarantined. The transition
+// is journaled, so a quarantine survives a server restart.
+func (c *Coordinator) Quarantine(shardID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, err := c.shardForAdminLocked(shardID)
+	if err != nil {
+		return err
+	}
+	switch sh.state {
+	case shardDone:
+		return fmt.Errorf("coord: shard %d is already done", shardID)
+	case shardQuarantined:
+		return nil
+	}
+	log.Printf("coord: %s: admin quarantined shard %d (%d cell(s))", c.id, sh.id, len(sh.indexes))
+	sh.state = shardQuarantined
+	sh.worker = ""
+	c.counters.ShardsQuarantined.Inc()
+	// A snapshot rewrite, not a delta: admin actions are rare and the
+	// synced rewrite makes the quarantine durable even against a power
+	// cut, not just a kill -9.
+	c.compactJournalLocked()
+	c.maybeFinishLocked()
+	c.notifyLocked()
+	return nil
+}
+
+// Unquarantine returns a quarantined shard to the pending pool, where
+// the next capable worker leases it. Only live sweeps can release a
+// shard — once the sweep finished done-with-quarantined, the parked
+// cells re-run by re-POSTing the spec.
+func (c *Coordinator) Unquarantine(shardID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, err := c.shardForAdminLocked(shardID)
+	if err != nil {
+		return err
+	}
+	if sh.state != shardQuarantined {
+		return fmt.Errorf("coord: shard %d is %s, not quarantined", shardID, sh.state.name())
+	}
+	log.Printf("coord: %s: admin released shard %d from quarantine", c.id, sh.id)
+	sh.state = shardPending
+	// Fresh lease budget, same reasoning as AdminExpire: a shard was
+	// often parked precisely because it burned leases, and releasing
+	// it is an explicit request to try again.
+	sh.leases = 0
+	c.counters.ShardsUnquarantined.Inc()
+	c.compactJournalLocked()
+	c.notifyLocked()
+	return nil
 }
 
 // finishLocked moves the sweep to a terminal state exactly once. The
@@ -730,7 +1205,7 @@ func (c *Coordinator) compactJournalLocked() {
 func (c *Coordinator) snapshotEntryLocked() journalEntry {
 	e := journalEntry{T: entrySnapshot, Sweep: c.id, Shards: make([]shardSnap, len(c.shards))}
 	for i, sh := range c.shards {
-		snap := shardSnap{ID: sh.id, Indexes: sh.indexes, State: sh.state.name(), Worker: sh.worker, Leases: sh.leases}
+		snap := shardSnap{ID: sh.id, Indexes: sh.indexes, Requires: sh.requires, State: sh.state.name(), Worker: sh.worker, Leases: sh.leases, Renews: sh.renews}
 		if sh.state == shardLeased {
 			exp := sh.expires
 			snap.Expires = &exp
@@ -749,6 +1224,9 @@ func (c *Coordinator) notifyLocked() {
 	}
 	p := c.prog
 	p.GeoMeanIPC = c.gm.Mean()
+	if !c.closed {
+		p.Starved = c.starvedCellsLocked(time.Now())
+	}
 	c.onProg(p)
 }
 

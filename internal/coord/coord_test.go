@@ -26,6 +26,9 @@ func fakeEngine() *service.Engine {
 	})
 }
 
+// wid builds a WorkerID for tests.
+func wid(name string, tags ...string) WorkerID { return WorkerID{Name: name, Tags: tags} }
+
 func eightCellSpec(t *testing.T) (sweep.Spec, []sweep.Cell) {
 	t.Helper()
 	spec := sweep.Spec{
@@ -61,17 +64,23 @@ func newStore(t *testing.T, spec sweep.Spec, cells []sweep.Cell) (*sweep.Store, 
 // outlives its test).
 func startWorker(t *testing.T, url, name string, engine *service.Engine, poll time.Duration) context.CancelFunc {
 	t.Helper()
+	return startWorkerCfg(t, WorkerConfig{
+		URL:    url,
+		Name:   name,
+		Engine: engine,
+		Poll:   poll,
+		Logf:   t.Logf,
+	})
+}
+
+// startWorkerCfg is startWorker with full control over the config.
+func startWorkerCfg(t *testing.T, cfg WorkerConfig) context.CancelFunc {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		RunWorker(ctx, WorkerConfig{
-			URL:    url,
-			Name:   name,
-			Engine: engine,
-			Poll:   poll,
-			Logf:   t.Logf,
-		})
+		RunWorker(ctx, cfg)
 	}()
 	return func() {
 		cancel()
@@ -184,7 +193,7 @@ func TestKilledWorkerShardReassigned(t *testing.T) {
 	}
 	c := d.(*Coordinator)
 	// The "killed" worker: grabs a shard and is never heard from again.
-	if _, ok := c.Lease("dead-worker"); !ok {
+	if _, ok := c.Lease(wid("dead-worker")); !ok {
 		t.Fatal("dead worker got no lease")
 	}
 	defer startWorker(t, srv.URL, "live", fakeEngine(), 20*time.Millisecond)()
@@ -227,7 +236,7 @@ func TestStaleCompleteIsDedupedNotDuplicated(t *testing.T) {
 	}
 	c := d.(*Coordinator)
 
-	l1, ok := c.Lease("w1")
+	l1, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease for w1")
 	}
@@ -242,7 +251,7 @@ func TestStaleCompleteIsDedupedNotDuplicated(t *testing.T) {
 
 	// w1's lease expires; the shard re-assigns to w2, which completes.
 	time.Sleep(120 * time.Millisecond)
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease(wid("w2"))
 	if !ok {
 		t.Fatal("expired shard was not re-leased")
 	}
@@ -291,7 +300,7 @@ func TestFailedCellsReRunOnResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.(*Coordinator)
-	l, ok := c.Lease("w1")
+	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
@@ -320,7 +329,7 @@ func TestFailedCellsReRunOnResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	c2 := d2.(*Coordinator)
-	l2, ok := c2.Lease("w1")
+	l2, ok := c2.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease for the retry run")
 	}
@@ -363,7 +372,7 @@ func TestMisaddressedCompleteCannotRetireShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.(*Coordinator)
-	l, ok := c.Lease("w1")
+	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
@@ -408,7 +417,7 @@ func TestMisaddressedCompleteCannotRetireShard(t *testing.T) {
 	}
 
 	// The legitimate remainder finishes the sweep.
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease(wid("w2"))
 	if !ok {
 		t.Fatal("no lease for the open shard")
 	}
@@ -443,12 +452,12 @@ func TestShardExhaustingLeasesFailsSweep(t *testing.T) {
 	}
 	c := d.(*Coordinator)
 	for i := 0; i < 2; i++ {
-		if _, ok := c.Lease("doomed"); !ok {
+		if _, ok := c.Lease(wid("doomed")); !ok {
 			t.Fatalf("lease %d refused; progress %+v", i, d.Progress())
 		}
 		time.Sleep(80 * time.Millisecond) // let the lease expire
 	}
-	if _, ok := c.Lease("doomed"); ok {
+	if _, ok := c.Lease(wid("doomed")); ok {
 		t.Fatal("third lease granted, want terminal failure at MaxLeases=2")
 	}
 	waitDone(t, d)
@@ -473,7 +482,7 @@ func TestPartialAckAndFilteredRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.(*Coordinator)
-	l1, ok := c.Lease("w1")
+	l1, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
@@ -496,7 +505,7 @@ func TestPartialAckAndFilteredRelease(t *testing.T) {
 
 	// After the TTL the shard re-leases — with only the missing cells.
 	time.Sleep(80 * time.Millisecond)
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease(wid("w2"))
 	if !ok {
 		t.Fatal("reclaim lease refused")
 	}
@@ -544,7 +553,7 @@ func TestCompleteRetryIsIdempotent(t *testing.T) {
 	}
 	defer d.Cancel()
 	c := d.(*Coordinator)
-	l, ok := c.Lease("w1")
+	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}

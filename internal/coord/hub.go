@@ -123,17 +123,50 @@ func (h *Hub) list() []*Coordinator {
 	return out
 }
 
-// lease scans the live coordinators in order for a pending shard.
-// active reports whether any coordinator exists at all — workers use
-// the distinction to tell "retry soon" from "nothing to do".
-func (h *Hub) lease(worker string) (l Lease, ok, active bool) {
+// lease scans the live coordinators in order for a pending shard the
+// worker is capable of running. active reports whether any coordinator
+// exists at all, and starved that every denial was a capability
+// mismatch — workers use the distinctions to tell "retry soon"
+// (shards merely leased out) from "nothing I can ever serve right
+// now" (counts toward -idle-exit) from "nothing to do". Every
+// coordinator observes the worker's capabilities even after a grant
+// (busy is not gone, for starvation accounting), and a poll counts as
+// starved only when the whole scan ends empty with at least one
+// constraint denial and no merely-busy sweep — a worker served by
+// sweep B is not starved just because sweep A's shards need more than
+// it has.
+func (h *Hub) lease(w WorkerID) (l Lease, ok, active, starved bool) {
 	coords := h.list()
+	var starvedOf []*Coordinator
+	busy := false
 	for _, c := range coords {
-		if l, ok := c.Lease(worker); ok {
-			return l, true, true
+		if ok {
+			c.Observe(w)
+			continue
+		}
+		g, granted, constrained := c.leaseScan(w)
+		if granted {
+			l, ok = g, true
+			continue
+		}
+		if constrained {
+			starvedOf = append(starvedOf, c)
+		} else {
+			// Denied without a constraint: the sweep's remaining shards
+			// are leased out (or parked) and may come back — retrying
+			// is meaningful, so the worker is not starved.
+			busy = true
 		}
 	}
-	return Lease{}, false, len(coords) > 0
+	if !ok && len(starvedOf) > 0 {
+		// One denied poll is one starved lease, however many sweeps
+		// were constrained; each of them still refreshes its status.
+		h.counters.LeasesStarved.Inc()
+		for _, c := range starvedOf {
+			c.refreshStarved()
+		}
+	}
+	return l, ok, len(coords) > 0, !ok && !busy && len(starvedOf) > 0
 }
 
 // HubMetrics is the hub's /metrics payload: the shared coordinator
@@ -157,13 +190,25 @@ func (h *Hub) MetricsSnapshot() HubMetrics {
 const (
 	statusShard = "shard" // a lease was granted
 	statusRetry = "retry" // work exists but every shard is leased out
-	statusIdle  = "idle"  // no distributed sweep is live
-	statusOK    = "ok"
-	statusStale = "stale" // lease no longer held; abandon the shard
+	// statusStarved: pending work exists but none of it matches this
+	// worker's tags/size hints. Workers treat it like idle for
+	// -idle-exit purposes — only a differently-equipped worker can
+	// unblock the remaining shards — while still polling, in case
+	// unconstrained work frees up.
+	statusStarved = "starved"
+	statusIdle    = "idle" // no distributed sweep is live
+	statusOK      = "ok"
+	statusStale   = "stale" // lease no longer held; abandon the shard
 )
 
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	// Tags advertises the worker's capabilities; shards whose spec
+	// requires tags outside this set are never granted to it.
+	Tags []string `json:"tags,omitempty"`
+	// MaxCells caps how many cells the worker accepts per lease
+	// (0 = unlimited) — the resource hint of a small host.
+	MaxCells int `json:"max_cells,omitempty"`
 }
 
 type leaseResponse struct {
@@ -180,6 +225,11 @@ type heartbeatRequest struct {
 	Worker string `json:"worker"`
 	Sweep  string `json:"sweep"`
 	Shard  int    `json:"shard"`
+	// Tags/MaxCells ride along so a busy worker (heartbeating, not
+	// polling) still counts as a live capability for starvation
+	// accounting.
+	Tags     []string `json:"tags,omitempty"`
+	MaxCells int      `json:"max_cells,omitempty"`
 }
 
 type heartbeatResponse struct {
@@ -202,10 +252,15 @@ type completeResponse struct {
 
 // Handler serves the coordinator API:
 //
-//	POST /coord/lease     — acquire a shard lease ({"worker": id})
-//	POST /coord/heartbeat — renew a lease; "stale" means abandon
-//	POST /coord/complete  — upload a shard's records and ack it
-//	GET  /coord/status    — shard tables of every live sweep
+//	POST /coord/lease              — acquire a shard lease ({"worker": id,
+//	                                 "tags": [...], "max_cells": n})
+//	POST /coord/heartbeat          — renew a lease; "stale" means abandon
+//	POST /coord/complete           — upload a shard's records and ack it
+//	GET  /coord/status             — shard tables of every live sweep
+//	POST /coord/admin/expire       — force-expire a lease ({"sweep", "shard"})
+//	POST /coord/admin/quarantine   — park a poisonous shard
+//	POST /coord/admin/unquarantine — release a parked shard
+//	GET  /coord/admin/leases       — live lease tables (ages, tags, renews)
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /coord/lease", func(w http.ResponseWriter, r *http.Request) {
@@ -218,7 +273,12 @@ func (h *Hub) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("coord: lease needs a worker name"))
 			return
 		}
-		l, ok, active := h.lease(req.Worker)
+		tags, err := sweep.NormalizeTags(req.Tags)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("coord: %w", err))
+			return
+		}
+		l, ok, active, starved := h.lease(WorkerID{Name: req.Worker, Tags: tags, MaxCells: req.MaxCells})
 		switch {
 		case ok:
 			writeJSON(w, http.StatusOK, leaseResponse{
@@ -229,6 +289,8 @@ func (h *Hub) Handler() http.Handler {
 				Spec:    &l.Spec,
 				TTLMS:   l.TTL.Milliseconds(),
 			})
+		case starved:
+			writeJSON(w, http.StatusOK, leaseResponse{Status: statusStarved, RetryMS: 1000})
 		case active:
 			writeJSON(w, http.StatusOK, leaseResponse{Status: statusRetry, RetryMS: 500})
 		default:
@@ -242,8 +304,21 @@ func (h *Hub) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		tags, terr := sweep.NormalizeTags(req.Tags)
+		if terr != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("coord: %w", terr))
+			return
+		}
+		wid := WorkerID{Name: req.Worker, Tags: tags, MaxCells: req.MaxCells}
 		c, ok := h.get(req.Sweep)
-		if !ok || !c.Heartbeat(req.Worker, req.Shard) {
+		// A heartbeating worker is alive for every sweep's starvation
+		// accounting, not just the one it is busy on.
+		for _, other := range h.list() {
+			if other != c {
+				other.Observe(wid)
+			}
+		}
+		if !ok || !c.Heartbeat(wid, req.Shard) {
 			writeJSON(w, http.StatusOK, heartbeatResponse{Status: statusStale})
 			return
 		}
@@ -287,7 +362,62 @@ func (h *Hub) Handler() http.Handler {
 			Counters HubMetrics `json:"counters"`
 		}{out, h.MetricsSnapshot()})
 	})
+
+	// Admin actions share one shape: resolve the sweep, apply, answer
+	// ok or surface the refusal as a 409 (the shard exists but is in
+	// the wrong state) so scripted operators can tell "retry won't
+	// help" from a typo'd sweep id (404).
+	adminAction := func(act func(*Coordinator, int) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req adminRequest
+			if err := decodeBody(r, maxControlBytes, &req); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			// Shard is a pointer so an absent field is a 400, not a
+			// silent action against shard 0 — strict decoding rejects
+			// unknown fields but cannot catch missing ones.
+			if req.Sweep == "" || req.Shard == nil {
+				httpError(w, http.StatusBadRequest, errors.New("coord: admin request needs sweep and shard"))
+				return
+			}
+			c, ok := h.get(req.Sweep)
+			if !ok {
+				httpError(w, http.StatusNotFound, fmt.Errorf("coord: no live sweep %q", req.Sweep))
+				return
+			}
+			if err := act(c, *req.Shard); err != nil {
+				httpError(w, http.StatusConflict, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, adminResponse{Status: statusOK, Sweep: c.ID(), Shard: *req.Shard})
+		}
+	}
+	mux.HandleFunc("POST /coord/admin/expire", adminAction((*Coordinator).AdminExpire))
+	mux.HandleFunc("POST /coord/admin/quarantine", adminAction((*Coordinator).Quarantine))
+	mux.HandleFunc("POST /coord/admin/unquarantine", adminAction((*Coordinator).Unquarantine))
+	mux.HandleFunc("GET /coord/admin/leases", func(w http.ResponseWriter, r *http.Request) {
+		coords := h.list()
+		out := make([]LeaseTable, 0, len(coords))
+		for _, c := range coords {
+			out = append(out, c.LeaseTable())
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Sweeps []LeaseTable `json:"sweeps"`
+		}{out})
+	})
 	return mux
+}
+
+type adminRequest struct {
+	Sweep string `json:"sweep"`
+	Shard *int   `json:"shard"`
+}
+
+type adminResponse struct {
+	Status string `json:"status"`
+	Sweep  string `json:"sweep"`
+	Shard  int    `json:"shard"`
 }
 
 func decodeBody(r *http.Request, limit int64, v any) error {

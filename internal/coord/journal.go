@@ -36,17 +36,28 @@ const (
 	entryRenew    = "renew"    // heartbeat pushed the expiry forward
 	entryExpire   = "expire"   // lease reclaimed, shard pending again
 	entryRetire   = "retire"   // shard done
-	entryFinish   = "finish"   // sweep reached a terminal state
+	// Admin transitions. The coordinator persists admin actions as a
+	// full snapshot rewrite (rare, and the synced rewrite also carries
+	// the lease-budget reset), so these delta kinds are written by no
+	// current code path — replay keeps accepting them for journals from
+	// older builds and for the corruption-hardening property tests.
+	entryQuarantine   = "quarantine"   // operator parked the shard
+	entryUnquarantine = "unquarantine" // operator released the shard
+	entryFinish       = "finish"       // sweep reached a terminal state
 )
 
 // shardSnap is one shard's full state inside a snapshot entry.
+// Requires is written for operators reading the file; recovery
+// recomputes it from the re-expanded cells.
 type shardSnap struct {
-	ID      int        `json:"id"`
-	Indexes []int      `json:"indexes"`
-	State   string     `json:"state"`
-	Worker  string     `json:"worker,omitempty"`
-	Expires *time.Time `json:"expires,omitempty"`
-	Leases  int        `json:"leases,omitempty"`
+	ID       int        `json:"id"`
+	Indexes  []int      `json:"indexes"`
+	Requires []string   `json:"requires,omitempty"`
+	State    string     `json:"state"`
+	Worker   string     `json:"worker,omitempty"`
+	Expires  *time.Time `json:"expires,omitempty"`
+	Leases   int        `json:"leases,omitempty"`
+	Renews   int        `json:"renews,omitempty"`
 }
 
 // journalEntry is one NDJSON line of the journal: a snapshot carries
@@ -207,7 +218,12 @@ func replayJournal(path string) (*replayState, error) {
 }
 
 // apply folds one entry into the state, reporting whether it was
-// usable (well-formed and naming a shard that exists).
+// usable — well-formed, naming a shard that exists, and describing a
+// transition the coordinator could actually have journaled. The last
+// point is load-bearing for corrupted journals: a retired shard can
+// never be resurrected by a later lease/renew/expire/quarantine line
+// (the coordinator journals none of those after a retire), so a
+// flipped bit cannot un-finish settled work.
 func (st *replayState) apply(e journalEntry) bool {
 	switch e.T {
 	case entrySnapshot:
@@ -220,12 +236,13 @@ func (st *replayState) apply(e journalEntry) bool {
 		st.shards = append([]shardSnap(nil), e.Shards...)
 	case entryLease:
 		sh := st.shard(e.Shard)
-		if sh == nil {
+		if sh == nil || sh.State == shardStateDone || sh.State == shardStateQuarantined {
 			return false
 		}
 		sh.State = shardStateLeased
 		sh.Worker = e.Worker
 		sh.Expires = e.Expires
+		sh.Renews = 0
 		if e.Leases > 0 {
 			sh.Leases = e.Leases
 		} else {
@@ -233,13 +250,14 @@ func (st *replayState) apply(e journalEntry) bool {
 		}
 	case entryRenew:
 		sh := st.shard(e.Shard)
-		if sh == nil {
+		if sh == nil || sh.State != shardStateLeased {
 			return false
 		}
 		sh.Expires = e.Expires
+		sh.Renews++
 	case entryExpire:
 		sh := st.shard(e.Shard)
-		if sh == nil {
+		if sh == nil || sh.State != shardStateLeased {
 			return false
 		}
 		sh.State = shardStatePending
@@ -253,6 +271,20 @@ func (st *replayState) apply(e journalEntry) bool {
 		sh.State = shardStateDone
 		sh.Worker = ""
 		sh.Expires = nil
+	case entryQuarantine:
+		sh := st.shard(e.Shard)
+		if sh == nil || sh.State == shardStateDone {
+			return false
+		}
+		sh.State = shardStateQuarantined
+		sh.Worker = ""
+		sh.Expires = nil
+	case entryUnquarantine:
+		sh := st.shard(e.Shard)
+		if sh == nil || sh.State != shardStateQuarantined {
+			return false
+		}
+		sh.State = shardStatePending
 	case entryFinish:
 		st.finished = true
 	default:

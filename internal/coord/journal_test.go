@@ -31,17 +31,17 @@ func TestJournalRoundTrip(t *testing.T) {
 	defer store.Close()
 
 	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 2, TTL: 50 * time.Millisecond}, nil, nil)
-	l1, ok := c.Lease("w1")
+	l1, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
-	if !c.Heartbeat("w1", l1.Shard) {
+	if !c.Heartbeat(wid("w1"), l1.Shard) {
 		t.Fatal("heartbeat refused")
 	}
 	// w1 vanishes; after the TTL its shard re-assigns to w2 (the Lease
 	// call journals the expiry and the re-grant), and w2 completes it.
 	time.Sleep(80 * time.Millisecond)
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease(wid("w2"))
 	if !ok {
 		t.Fatal("no re-lease")
 	}
@@ -132,12 +132,12 @@ func TestJournalCompaction(t *testing.T) {
 	defer store.Close()
 
 	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 8, TTL: time.Minute}, nil, nil)
-	l, ok := c.Lease("w1")
+	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
 	for i := 0; i < 20; i++ {
-		if !c.Heartbeat("w1", l.Shard) {
+		if !c.Heartbeat(wid("w1"), l.Shard) {
 			t.Fatal("heartbeat refused")
 		}
 	}

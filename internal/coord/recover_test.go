@@ -32,7 +32,7 @@ func TestCoordinatorCrashRecovery(t *testing.T) {
 	c := d.(*Coordinator)
 
 	// w1 settles one shard (2 cells) before the crash.
-	l1, ok := c.Lease("w1")
+	l1, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease for w1")
 	}
@@ -40,7 +40,7 @@ func TestCoordinatorCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// w2 holds a lease it never finishes — in flight at the crash.
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease(wid("w2"))
 	if !ok {
 		t.Fatal("no lease for w2")
 	}
@@ -77,7 +77,7 @@ func TestCoordinatorCrashRecovery(t *testing.T) {
 	}
 
 	// The surviving worker's lease id still answers heartbeats.
-	if !c2.Heartbeat("w2", l2.Shard) {
+	if !c2.Heartbeat(wid("w2"), l2.Shard) {
 		t.Fatal("surviving worker's lease did not survive the restart")
 	}
 	cs := hub2.counters.Snapshot()
@@ -171,7 +171,7 @@ func TestRecoveryReopensDoneShardWithLostResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := d.(*Coordinator)
-	l, ok := c.Lease("w1")
+	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}
@@ -219,7 +219,7 @@ func TestManagerRecoverServesRecoveredSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1 := d1.(*Coordinator)
-	l, ok := c1.Lease("w1")
+	l, ok := c1.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
 	}

@@ -23,6 +23,13 @@ type WorkerConfig struct {
 	URL string
 	// Name identifies the worker in leases (default hostname-pid).
 	Name string
+	// Tags advertises this worker's capabilities ("bigmem", "gpu");
+	// the coordinator routes shards whose spec requires tags only to
+	// workers advertising all of them.
+	Tags []string
+	// MaxCells caps how many cells this worker accepts per lease
+	// (0 = unlimited) — the resource hint of a small host.
+	MaxCells int
 	// Engine executes the leased cells (required).
 	Engine *service.Engine
 	// Parallelism bounds concurrently submitted cells per shard
@@ -32,8 +39,9 @@ type WorkerConfig struct {
 	// available (0 = 500ms).
 	Poll time.Duration
 	// IdleExit, when positive, makes the worker exit cleanly after the
-	// coordinator has reported no live sweeps (or been unreachable) for
-	// this long. Zero polls forever — the daemon mode.
+	// coordinator has reported — for this long — no live sweeps,
+	// nothing this worker's capabilities can serve ("starved"), or
+	// been unreachable. Zero polls forever — the daemon mode.
 	IdleExit time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
@@ -88,9 +96,14 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Engine == nil {
 		return errors.New("coord: worker needs an engine")
 	}
+	tags, err := sweep.NormalizeTags(cfg.Tags)
+	if err != nil {
+		return err
+	}
 	w := &worker{
 		cfg:  cfg,
 		name: cfg.name(),
+		tags: tags,
 		base: strings.TrimRight(cfg.URL, "/"),
 	}
 	var idleSince time.Time
@@ -127,7 +140,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			// The shard was abandoned (stale lease, bad spec, failed
 			// upload). Fall through to the poll sleep: leasing again at
 			// HTTP speed would just park every pending shard for a TTL.
-		case resp.Status == statusIdle:
+		case resp.Status == statusIdle || resp.Status == statusStarved:
+			// Starved means pending work exists that this worker can
+			// never serve with its tags/size hints: for -idle-exit
+			// purposes that is idleness — only a differently-equipped
+			// worker can unblock it — though polling continues in case
+			// unconstrained work appears.
 			idle = true
 		}
 		if idle && cfg.IdleExit > 0 {
@@ -152,6 +170,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 type worker struct {
 	cfg  WorkerConfig
 	name string
+	tags []string
 	base string
 }
 
@@ -220,18 +239,25 @@ func (w *worker) runShard(ctx context.Context, l Lease) bool {
 	}
 	if stale || final.State == sweep.StateCancelled {
 		// The lease moved on before the shard finished, but the cells
-		// that did finish are real work: upload them best-effort — the
-		// coordinator's stale-merge path accepts and dedups them, and
-		// the re-assignee's lease then excludes those cells.
+		// that did finish are real work: upload them — the coordinator's
+		// stale-merge path accepts and dedups them, and the re-assignee's
+		// lease then excludes those cells. Unlike a routine complete
+		// failure (which only costs a lease TTL — the shard re-assigns),
+		// records dropped here have no second chance, so the retry
+		// budget is deeper before giving up.
 		if recs := mem.Records(); len(recs) > 0 {
-			if err := w.complete(ctx, l, recs); err != nil {
-				w.cfg.logf("shard %s/%d: partial upload failed: %v", l.Sweep, l.Shard, err)
+			if err := w.complete(ctx, l, recs, abandonAttempts); err != nil {
+				w.cfg.logf("shard %s/%d abandoned (stale lease); %d partial record(s) DROPPED after %d upload attempts: %v",
+					l.Sweep, l.Shard, len(recs), abandonAttempts, err)
+			} else {
+				w.cfg.logf("shard %s/%d abandoned (stale lease), %d partial record(s) uploaded", l.Sweep, l.Shard, len(recs))
 			}
+		} else {
+			w.cfg.logf("shard %s/%d abandoned (stale lease), nothing to upload", l.Sweep, l.Shard)
 		}
-		w.cfg.logf("shard %s/%d abandoned (stale lease), %d partial record(s) uploaded", l.Sweep, l.Shard, len(mem.Records()))
 		return false
 	}
-	if err := w.complete(ctx, l, mem.Records()); err != nil {
+	if err := w.complete(ctx, l, mem.Records(), completeAttempts); err != nil {
 		w.cfg.logf("complete %s/%d: %v (lease will expire and re-assign)", l.Sweep, l.Shard, err)
 		return false
 	}
@@ -241,30 +267,46 @@ func (w *worker) runShard(ctx context.Context, l Lease) bool {
 
 func (w *worker) lease(ctx context.Context) (leaseResponse, error) {
 	var resp leaseResponse
-	err := w.post(ctx, "/coord/lease", leaseRequest{Worker: w.name}, &resp)
+	err := w.post(ctx, "/coord/lease", leaseRequest{Worker: w.name, Tags: w.tags, MaxCells: w.cfg.MaxCells}, &resp)
 	return resp, err
 }
 
 func (w *worker) heartbeat(ctx context.Context, l Lease) (ok bool, err error) {
 	var resp heartbeatResponse
-	if err := w.post(ctx, "/coord/heartbeat", heartbeatRequest{Worker: w.name, Sweep: l.Sweep, Shard: l.Shard}, &resp); err != nil {
+	if err := w.post(ctx, "/coord/heartbeat", heartbeatRequest{Worker: w.name, Sweep: l.Sweep, Shard: l.Shard, Tags: w.tags, MaxCells: w.cfg.MaxCells}, &resp); err != nil {
 		return false, err
 	}
 	return resp.Status == statusOK, nil
 }
 
+// Upload retry budgets. A routine complete failure only costs a lease
+// TTL (the shard re-assigns and re-runs elsewhere), so its budget is
+// modest; records on an abandoned stale shard have no re-run covering
+// the cells that *did* finish cheaply, so that path retries deeper
+// before letting them die.
+const (
+	completeAttempts = 3
+	abandonAttempts  = 6
+)
+
 // complete uploads the shard's records, retrying transient transport
-// errors — losing an upload only costs a lease TTL, but retrying is
-// much cheaper than re-simulating the shard elsewhere.
-func (w *worker) complete(ctx context.Context, l Lease, recs []sweep.CellRecord) error {
+// errors with exponential backoff — retrying is much cheaper than
+// re-simulating the shard elsewhere, and a server mid-restart is back
+// within a few seconds.
+func (w *worker) complete(ctx context.Context, l Lease, recs []sweep.CellRecord, attempts int) error {
 	req := completeRequest{Worker: w.name, Sweep: l.Sweep, Shard: l.Shard, Records: recs}
+	backoff := 250 * time.Millisecond
 	var err error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			w.cfg.logf("complete %s/%d attempt %d/%d: %v (retrying in %s)", l.Sweep, l.Shard, attempt, attempts, err, backoff)
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(time.Duration(attempt) * 500 * time.Millisecond):
+			case <-time.After(backoff):
+			}
+			if backoff < 4*time.Second {
+				backoff *= 2
 			}
 		}
 		var resp completeResponse

@@ -55,9 +55,12 @@ func (c *SweepCounters) Snapshot() SweepSnapshot {
 // after expiry, shards acked complete, the record merge outcomes
 // (merged into the canonical store vs dropped as duplicates), stale
 // acks (a complete or heartbeat from a worker whose lease was already
-// expired or re-assigned), and the crash-recovery journal: entries
-// appended, entries replayed on recovery, compaction rewrites, sweeps
-// reconstructed after a restart and leases restored still live.
+// expired or re-assigned), capability routing (lease polls denied only
+// because no pending shard matched the worker's tags/size hints) and
+// admin interventions (operator force-expires, shards quarantined and
+// released), and the crash-recovery journal: entries appended, entries
+// replayed on recovery, compaction rewrites, sweeps reconstructed
+// after a restart and leases restored still live.
 type CoordCounters struct {
 	LeasesGranted    Counter
 	LeasesExpired    Counter
@@ -66,6 +69,11 @@ type CoordCounters struct {
 	RecordsMerged    Counter
 	RecordsDeduped   Counter
 	StaleAcks        Counter
+
+	LeasesStarved       Counter
+	AdminExpired        Counter
+	ShardsQuarantined   Counter
+	ShardsUnquarantined Counter
 
 	JournalEntries     Counter
 	JournalReplayed    Counter
@@ -85,6 +93,11 @@ type CoordSnapshot struct {
 	RecordsDeduped   uint64 `json:"records_deduped"`
 	StaleAcks        uint64 `json:"stale_acks"`
 
+	LeasesStarved       uint64 `json:"leases_starved"`
+	AdminExpired        uint64 `json:"admin_expired"`
+	ShardsQuarantined   uint64 `json:"shards_quarantined"`
+	ShardsUnquarantined uint64 `json:"shards_unquarantined"`
+
 	JournalEntries     uint64 `json:"journal_entries"`
 	JournalReplayed    uint64 `json:"journal_replayed"`
 	JournalCompactions uint64 `json:"journal_compactions"`
@@ -102,6 +115,11 @@ func (c *CoordCounters) Snapshot() CoordSnapshot {
 		RecordsMerged:    c.RecordsMerged.Value(),
 		RecordsDeduped:   c.RecordsDeduped.Value(),
 		StaleAcks:        c.StaleAcks.Value(),
+
+		LeasesStarved:       c.LeasesStarved.Value(),
+		AdminExpired:        c.AdminExpired.Value(),
+		ShardsQuarantined:   c.ShardsQuarantined.Value(),
+		ShardsUnquarantined: c.ShardsUnquarantined.Value(),
 
 		JournalEntries:     c.JournalEntries.Value(),
 		JournalReplayed:    c.JournalReplayed.Value(),

@@ -22,6 +22,11 @@ const (
 	StateDone      State = "done"
 	StateCancelled State = "cancelled"
 	StateFailed    State = "failed" // store I/O failure, not cell failure
+	// StateDoneQuarantined ends a distributed sweep whose runnable
+	// shards all finished while operator-quarantined shards stayed
+	// parked: their cells never ran. Re-POSTing the spec starts a
+	// fresh run over exactly those cells.
+	StateDoneQuarantined State = "done-with-quarantined"
 )
 
 // Progress is a point-in-time view of a sweep run. Done counts cells
@@ -38,7 +43,11 @@ type Progress struct {
 	// GeoMeanIPC aggregates the raw IPC of every successful cell so
 	// far (resumed cells included) — the sweep-wide "geomean so far".
 	GeoMeanIPC float64 `json:"geomean_ipc"`
-	Error      string  `json:"error,omitempty"`
+	// Starved counts cells parked behind a capability constraint no
+	// live worker currently satisfies (distributed sweeps only): the
+	// sweep is waiting for a matching worker to join, not progressing.
+	Starved int    `json:"starved,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Runner executes a sweep's cells through a service engine, appending

@@ -154,3 +154,89 @@ func TestSpecKeyStable(t *testing.T) {
 		t.Error("different specs share a key")
 	}
 }
+
+func TestNormalizeTags(t *testing.T) {
+	got, err := NormalizeTags([]string{" gpu ", "bigmem", "gpu", "", "bigmem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "bigmem" || got[1] != "gpu" {
+		t.Fatalf("NormalizeTags = %v, want [bigmem gpu]", got)
+	}
+	if got, err := NormalizeTags(nil); got != nil || err != nil {
+		t.Fatalf("NormalizeTags(nil) = (%v, %v)", got, err)
+	}
+	for _, bad := range []string{"big mem", "a,b"} {
+		if _, err := NormalizeTags([]string{bad}); err == nil {
+			t.Errorf("NormalizeTags accepted %q", bad)
+		}
+	}
+}
+
+func TestRequiresExpandAndKeyInvariance(t *testing.T) {
+	spec := Spec{
+		Name:     "req",
+		Requires: []string{"fleet"},
+		Axes: Axes{
+			Schedulers: []string{"GTO"},
+			Benchmarks: []string{"SYRK"},
+			Configs: []Config{
+				{Name: "base"},
+				{Name: "big", Requires: []string{"bigmem", "fleet"}, Override: harness.Override{L1SizeKB: 32}},
+			},
+		},
+		Points: []Point{
+			{Bench: "ATAX", Sched: "GTO", Config: &Config{Name: "pt", Requires: []string{"gpu"}, Override: harness.Override{L1Ways: 8}}},
+		},
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	want := [][]string{{"fleet"}, {"bigmem", "fleet"}, {"fleet", "gpu"}}
+	for i, c := range cells {
+		if len(c.Requires) != len(want[i]) {
+			t.Fatalf("cell %d requires = %v, want %v", i, c.Requires, want[i])
+		}
+		for j := range want[i] {
+			if c.Requires[j] != want[i][j] {
+				t.Errorf("cell %d requires = %v, want %v", i, c.Requires, want[i])
+			}
+		}
+	}
+
+	// Requires and Distributed are routing knobs: stripping them must
+	// not change the spec key (the same grid shares one store), and
+	// Key must not mutate the caller's spec in the process.
+	stripped := Spec{
+		Name: "req",
+		Axes: Axes{
+			Schedulers: []string{"GTO"},
+			Benchmarks: []string{"SYRK"},
+			Configs: []Config{
+				{Name: "base"},
+				{Name: "big", Override: harness.Override{L1SizeKB: 32}},
+			},
+		},
+		Points: []Point{
+			{Bench: "ATAX", Sched: "GTO", Config: &Config{Name: "pt", Override: harness.Override{L1Ways: 8}}},
+		},
+	}
+	distributed := spec
+	distributed.Distributed = true
+	if spec.Key() != stripped.Key() || distributed.Key() != stripped.Key() {
+		t.Error("requires/distributed changed the spec key; resumed stores would not be shared")
+	}
+	if spec.Axes.Configs[1].Requires == nil || spec.Points[0].Config.Requires == nil {
+		t.Error("Key() mutated the caller's spec")
+	}
+	// A bad tag fails expansion loudly.
+	bad := spec
+	bad.Requires = []string{"two words"}
+	if _, err := bad.Expand(); err == nil {
+		t.Error("Expand accepted a malformed requires tag")
+	}
+}
