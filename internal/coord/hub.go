@@ -123,6 +123,18 @@ func (h *Hub) list() []*Coordinator {
 	return out
 }
 
+// observeExcept records the worker's capabilities with every live
+// coordinator but the one already serving it — busy on one sweep is
+// not gone for the others' starvation accounting. A nil except
+// observes every coordinator.
+func (h *Hub) observeExcept(w WorkerID, except *Coordinator) {
+	for _, c := range h.list() {
+		if c != except {
+			c.Observe(w)
+		}
+	}
+}
+
 // lease scans the live coordinators in order for a pending shard the
 // worker is capable of running. active reports whether any coordinator
 // exists at all, and starved that every denial was a capability
@@ -140,14 +152,11 @@ func (h *Hub) lease(w WorkerID) (l Lease, ok, active, starved bool) {
 	var starvedOf []*Coordinator
 	busy := false
 	for _, c := range coords {
-		if ok {
-			c.Observe(w)
-			continue
-		}
 		g, granted, constrained := c.leaseScan(w)
 		if granted {
 			l, ok = g, true
-			continue
+			h.observeExcept(w, c)
+			break
 		}
 		if constrained {
 			starvedOf = append(starvedOf, c)
@@ -313,11 +322,7 @@ func (h *Hub) Handler() http.Handler {
 		c, ok := h.get(req.Sweep)
 		// A heartbeating worker is alive for every sweep's starvation
 		// accounting, not just the one it is busy on.
-		for _, other := range h.list() {
-			if other != c {
-				other.Observe(wid)
-			}
-		}
+		h.observeExcept(wid, c)
 		if !ok || !c.Heartbeat(wid, req.Shard) {
 			writeJSON(w, http.StatusOK, heartbeatResponse{Status: statusStale})
 			return
