@@ -147,36 +147,6 @@ type WorkerID struct {
 	MaxCells int
 }
 
-// workerInfo is what the coordinator remembers about a worker from its
-// last lease poll or heartbeat — enough to route shards and to tell a
-// starved constraint from a merely idle fleet.
-type workerInfo struct {
-	tags     map[string]bool
-	tagList  []string
-	maxCells int
-	seen     time.Time
-}
-
-// fits reports whether this worker can serve a shard needing the given
-// tags with that many cells left.
-func (w *workerInfo) fits(requires []string, cells int) bool {
-	if w.maxCells > 0 && cells > w.maxCells {
-		return false
-	}
-	return w.fitsTags(requires)
-}
-
-// fitsTags is the tag half of fits — separable because it does not
-// depend on how many cells remain in the shard.
-func (w *workerInfo) fitsTags(requires []string) bool {
-	for _, tag := range requires {
-		if !w.tags[tag] {
-			return false
-		}
-	}
-	return true
-}
-
 // cellOutcome tracks per-cell merge state so progress counts each cell
 // once across duplicate uploads and failed-then-ok sequences.
 type cellOutcome int
@@ -198,13 +168,16 @@ type Coordinator struct {
 	counters  *metrics.CoordCounters
 	onProg    func(sweep.Progress)
 	jr        *journal
+	// reg is the hub-level fleet registry (self-locking; the lock
+	// order is c.mu before reg.mu, never the reverse). A coordinator
+	// built outside a hub gets a private one.
+	reg *workerRegistry
 
 	mu         sync.Mutex
 	shards     []*shard
 	cells      map[string]cellOutcome // cell key → merge outcome
 	keyByIndex map[int]string         // cell index → cell key
 	reqByIndex map[int][]string       // cell index → required tags
-	workers    map[string]*workerInfo // worker name → last-seen capabilities
 	prog       sweep.Progress
 	gm         sweep.Geo
 	closed     bool
@@ -249,9 +222,12 @@ func appendShards(dst []*shard, todo []int, reqByIndex map[int][]string, size in
 // Cells already complete in the store are skipped (and seed the
 // geomean), so resuming a killed distributed sweep re-runs only the
 // missing cells. A sweep with nothing left finishes immediately.
-func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) *Coordinator {
+func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, reg *workerRegistry, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) *Coordinator {
 	if counters == nil {
 		counters = &metrics.CoordCounters{}
+	}
+	if reg == nil {
+		reg = newWorkerRegistry(cfg.ttl())
 	}
 	c := &Coordinator{
 		id:         id,
@@ -261,10 +237,10 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 		maxLeases:  cfg.maxLeases(),
 		counters:   counters,
 		onProg:     onProgress,
+		reg:        reg,
 		cells:      make(map[string]cellOutcome, len(cells)),
 		keyByIndex: make(map[int]string, len(cells)),
 		reqByIndex: make(map[int][]string, len(cells)),
-		workers:    map[string]*workerInfo{},
 		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
 		done:       make(chan struct{}),
 	}
@@ -322,9 +298,12 @@ func NewCoordinator(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep
 // TTL lapsed during the outage stay on the table as-is: the
 // reclaim-on-demand rule in Lease makes them immediately re-leasable,
 // while a holder that heartbeats first revives.
-func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) (*Coordinator, error) {
+func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, cfg Config, reg *workerRegistry, counters *metrics.CoordCounters, onProgress func(sweep.Progress)) (*Coordinator, error) {
 	if counters == nil {
 		counters = &metrics.CoordCounters{}
+	}
+	if reg == nil {
+		reg = newWorkerRegistry(cfg.ttl())
 	}
 	path := store.CoordJournalPath()
 	st, err := replayJournal(path)
@@ -350,10 +329,10 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 		maxLeases:  cfg.maxLeases(),
 		counters:   counters,
 		onProg:     onProgress,
+		reg:        reg,
 		cells:      make(map[string]cellOutcome, len(cells)),
 		keyByIndex: make(map[int]string, len(cells)),
 		reqByIndex: make(map[int][]string, len(cells)),
-		workers:    map[string]*workerInfo{},
 		prog:       sweep.Progress{State: sweep.StateRunning, Total: len(cells)},
 		done:       make(chan struct{}),
 	}
@@ -411,6 +390,12 @@ func recoverCoordinator(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store,
 		}
 		if sh.state == shardLeased && sh.expires.After(now) {
 			counters.LeasesRecovered.Inc()
+		}
+		if sh.state == shardLeased && sh.worker != "" {
+			// Seed the fleet registry from the journal: the holder was
+			// alive moments before the crash, keeps its lease row, and
+			// its affinity memory survives the hand-off.
+			reg.noteLease(sh.worker, c.id, sh.id, requireSig(sh.requires), now)
 		}
 		c.shards = append(c.shards, sh)
 	}
@@ -494,39 +479,6 @@ func (c *Coordinator) Cancel() {
 	}
 }
 
-// observeWorkerLocked records a worker's advertised capabilities and
-// refreshes its last-seen time — the liveness signal starvation
-// accounting runs against. Tags canonicalise through the same
-// sweep.NormalizeTags the spec side uses, so a worker tag and a shard
-// requirement can never disagree on form; malformed tags (which the
-// HTTP handlers already reject with a 400) are dropped wholesale
-// rather than recorded as unmatchable strings. The map is pruned of
-// long-gone workers so a churning fleet cannot grow it without bound.
-func (c *Coordinator) observeWorkerLocked(w WorkerID, now time.Time) *workerInfo {
-	list, err := sweep.NormalizeTags(w.Tags)
-	if err != nil {
-		log.Printf("coord: worker %q advertises malformed tags, ignoring them all: %v", w.Name, err)
-		list = nil
-	}
-	tags := make(map[string]bool, len(list))
-	for _, tag := range list {
-		tags[tag] = true
-	}
-	info := &workerInfo{tags: tags, tagList: list, maxCells: w.MaxCells, seen: now}
-	if w.Name == "" {
-		return info // not tracked; name-less callers cannot heartbeat anyway
-	}
-	if len(c.workers) > 128 {
-		for name, old := range c.workers {
-			if now.Sub(old.seen) > 10*c.ttl {
-				delete(c.workers, name)
-			}
-		}
-	}
-	c.workers[w.Name] = info
-	return info
-}
-
 // workerLiveFactor: a worker counts as live for starvation accounting
 // while its last lease poll or heartbeat is within this many TTLs.
 const workerLiveFactor = 2
@@ -544,13 +496,7 @@ const workerLiveFactor = 2
 // O(shards × live workers) per call; only shards that might actually
 // be starved pay a per-cell scan.
 func (c *Coordinator) starvedCellsLocked(now time.Time) int {
-	var live []*workerInfo
-	window := time.Duration(workerLiveFactor) * c.ttl
-	for _, info := range c.workers {
-		if now.Sub(info.seen) <= window {
-			live = append(live, info)
-		}
-	}
+	live := c.reg.liveCaps(now, time.Duration(workerLiveFactor)*c.ttl)
 	starved := 0
 	for _, sh := range c.shards {
 		if sh.state != shardPending {
@@ -613,11 +559,22 @@ func (c *Coordinator) Lease(w WorkerID) (l Lease, ok bool) {
 	return l, ok
 }
 
+// requireSig is the canonical signature of a shard's requirement
+// group — the same form appendShards groups by, reused as the
+// affinity key for "same configs, different cells".
+func requireSig(requires []string) string { return strings.Join(requires, ",") }
+
 // leaseScan is Lease minus the starvation accounting: constrained
 // reports that pending work exists which this worker cannot serve.
 // The hub folds that flag across its coordinators, so a worker that
 // this sweep starved but another sweep served in the same poll is not
 // miscounted.
+//
+// Among the shards the worker could take, placement prefers the one
+// its engine cache is warmest for: a shard this worker held before
+// beats a shard from a requirement group it has served, which beats a
+// stranger. With no history every score is zero and the scan degrades
+// to first-fit, so a fresh fleet behaves exactly as before.
 func (c *Coordinator) leaseScan(w WorkerID) (l Lease, ok, constrained bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -625,8 +582,13 @@ func (c *Coordinator) leaseScan(w WorkerID) (l Lease, ok, constrained bool) {
 		return Lease{}, false, false
 	}
 	now := time.Now()
-	info := c.observeWorkerLocked(w, now)
+	cap := c.reg.observe(w, now)
 	c.expireLocked(now)
+	var (
+		best        *shard
+		bestIndexes []int
+		bestScore   int
+	)
 	for _, sh := range c.shards {
 		if sh.state != shardPending {
 			continue
@@ -646,11 +608,17 @@ func (c *Coordinator) leaseScan(w WorkerID) (l Lease, ok, constrained bool) {
 			}
 			continue
 		}
-		if !info.fits(sh.requires, len(indexes)) {
+		if !cap.fits(sh.requires, len(indexes)) {
 			constrained = true
 			continue
 		}
 		if sh.leases >= c.maxLeases {
+			if best != nil {
+				// First-fit would have granted the earlier shard without
+				// ever reaching this one; leave it for a poll that must
+				// face it head-on.
+				continue
+			}
 			// Every holder of this shard vanished or failed to upload.
 			// Re-leasing it forever would livelock the sweep as
 			// "running"; fail terminally instead so the manager, the
@@ -662,27 +630,41 @@ func (c *Coordinator) leaseScan(w WorkerID) (l Lease, ok, constrained bool) {
 			c.notifyLocked()
 			return Lease{}, false, false
 		}
-		sh.state = shardLeased
-		sh.worker = w.Name
-		sh.expires = now.Add(c.ttl)
-		sh.granted = now
-		sh.leases++
-		sh.renews = 0
-		c.counters.LeasesGranted.Inc()
-		if sh.leases > 1 {
-			c.counters.ShardsReassigned.Inc()
+		score := c.reg.affinityScore(w.Name, c.id, sh.id, requireSig(sh.requires))
+		if best == nil || score > bestScore {
+			best, bestIndexes, bestScore = sh, indexes, score
+			if bestScore >= affinityExact {
+				break // nothing scores higher; stop scanning
+			}
 		}
-		exp := sh.expires
-		c.journalLocked(journalEntry{T: entryLease, Shard: sh.id, Worker: w.Name, Expires: &exp, Leases: sh.leases})
-		return Lease{
-			Sweep:   c.id,
-			Shard:   sh.id,
-			Indexes: indexes,
-			Spec:    c.spec,
-			TTL:     c.ttl,
-		}, true, false
 	}
-	return Lease{}, false, constrained
+	if best == nil {
+		return Lease{}, false, constrained
+	}
+	sh := best
+	sh.state = shardLeased
+	sh.worker = w.Name
+	sh.expires = now.Add(c.ttl)
+	sh.granted = now
+	sh.leases++
+	sh.renews = 0
+	c.counters.LeasesGranted.Inc()
+	if sh.leases > 1 {
+		c.counters.ShardsReassigned.Inc()
+	}
+	if bestScore > affinityNone {
+		c.counters.LeasesAffine.Inc()
+	}
+	c.reg.noteLease(w.Name, c.id, sh.id, requireSig(sh.requires), now)
+	exp := sh.expires
+	c.journalLocked(journalEntry{T: entryLease, Shard: sh.id, Worker: w.Name, Expires: &exp, Leases: sh.leases})
+	return Lease{
+		Sweep:   c.id,
+		Shard:   sh.id,
+		Indexes: bestIndexes,
+		Spec:    c.spec,
+		TTL:     c.ttl,
+	}, true, false
 }
 
 // noteStarved counts one lease poll denied purely by capability
@@ -703,18 +685,6 @@ func (c *Coordinator) refreshStarved() {
 	}
 }
 
-// Observe records a worker's capabilities without leasing. The hub
-// calls it so a worker that leased (or is heartbeating) elsewhere
-// stays a live capability for every other sweep's starvation
-// accounting — busy is not gone.
-func (c *Coordinator) Observe(w WorkerID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.observeWorkerLocked(w, time.Now())
-	}
-}
-
 // Heartbeat renews the worker's lease on a shard. A false return means
 // the lease is stale — the shard was reclaimed, re-assigned,
 // quarantined, or the sweep is over — and the worker should abandon
@@ -730,7 +700,7 @@ func (c *Coordinator) Heartbeat(w WorkerID, shardID int) bool {
 		return false
 	}
 	now := time.Now()
-	c.observeWorkerLocked(w, now)
+	c.reg.observe(w, now)
 	sh := c.shards[shardID]
 	if sh.state != shardLeased || sh.worker != w.Name {
 		c.counters.StaleAcks.Inc()
@@ -801,6 +771,7 @@ func (c *Coordinator) shardSettledLocked(sh *shard) bool {
 // retireShardLocked marks one shard done.
 func (c *Coordinator) retireShardLocked(sh *shard) {
 	if sh.state != shardDone {
+		c.reg.dropLease(sh.worker, c.id, sh.id)
 		sh.state = shardDone
 		sh.worker = ""
 		c.counters.ShardsCompleted.Inc()
@@ -945,14 +916,15 @@ type ShardLease struct {
 	ExpiresInMS int64 `json:"expires_in_ms,omitempty"`
 }
 
-// WorkerSeen is one worker the coordinator has heard from: its
-// advertised capabilities and how long ago it last polled or
-// heartbeat.
+// WorkerSeen is one worker the fleet registry has heard from: its
+// advertised capabilities, how long ago it last polled or heartbeat,
+// and the shard leases it holds right now across every live sweep.
 type WorkerSeen struct {
-	Name       string   `json:"name"`
-	Tags       []string `json:"tags,omitempty"`
-	MaxCells   int      `json:"max_cells,omitempty"`
-	LastSeenMS int64    `json:"last_seen_ms"`
+	Name       string           `json:"name"`
+	Tags       []string         `json:"tags,omitempty"`
+	MaxCells   int              `json:"max_cells,omitempty"`
+	LastSeenMS int64            `json:"last_seen_ms"`
+	Leases     []WorkerLeaseRef `json:"leases,omitempty"`
 }
 
 // LeaseTable is one sweep's full admin view: every shard row plus the
@@ -991,26 +963,16 @@ func (c *Coordinator) LeaseTable() LeaseTable {
 				row.AgeMS = now.Sub(sh.granted).Milliseconds()
 			}
 			row.ExpiresInMS = sh.expires.Sub(now).Milliseconds()
-			if info, ok := c.workers[sh.worker]; ok {
-				row.WorkerTags = info.tagList
+			if cap, ok := c.reg.capOf(sh.worker); ok {
+				row.WorkerTags = cap.tagList
 			}
 		}
 		t.Shards = append(t.Shards, row)
 	}
-	names := make([]string, 0, len(c.workers))
-	for name := range c.workers {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		info := c.workers[name]
-		t.Workers = append(t.Workers, WorkerSeen{
-			Name:       name,
-			Tags:       info.tagList,
-			MaxCells:   info.maxCells,
-			LastSeenMS: now.Sub(info.seen).Milliseconds(),
-		})
-	}
+	// Workers come from the fleet registry the hub shares across
+	// sweeps — the table shows the whole fleet an operator could
+	// route to, idle workers included.
+	t.Workers = c.reg.snapshot(now)
 	return t
 }
 
@@ -1021,6 +983,7 @@ func (c *Coordinator) LeaseTable() LeaseTable {
 func (c *Coordinator) expireLocked(now time.Time) {
 	for _, sh := range c.shards {
 		if sh.state == shardLeased && now.After(sh.expires) {
+			c.reg.dropLease(sh.worker, c.id, sh.id)
 			sh.state = shardPending
 			sh.worker = ""
 			c.counters.LeasesExpired.Inc()
@@ -1089,6 +1052,7 @@ func (c *Coordinator) AdminExpire(shardID int) error {
 		return fmt.Errorf("coord: shard %d is %s, not leased", shardID, sh.state.name())
 	}
 	log.Printf("coord: %s: admin force-expired shard %d (held by %s, %d renew(s))", c.id, sh.id, sh.worker, sh.renews)
+	c.reg.dropLease(sh.worker, c.id, sh.id)
 	sh.state = shardPending
 	sh.worker = ""
 	sh.leases = 0
@@ -1119,6 +1083,7 @@ func (c *Coordinator) Quarantine(shardID int) error {
 		return nil
 	}
 	log.Printf("coord: %s: admin quarantined shard %d (%d cell(s))", c.id, sh.id, len(sh.indexes))
+	c.reg.dropLease(sh.worker, c.id, sh.id)
 	sh.state = shardQuarantined
 	sh.worker = ""
 	c.counters.ShardsQuarantined.Inc()
@@ -1170,6 +1135,7 @@ func (c *Coordinator) finishLocked(state sweep.State, errMsg string) {
 	if errMsg != "" {
 		c.prog.Error = errMsg
 	}
+	c.reg.dropSweep(c.id)
 	c.jr.rewrite(c.snapshotEntryLocked(), journalEntry{T: entryFinish, State: string(state), Error: errMsg})
 	c.jr.close()
 	close(c.done)

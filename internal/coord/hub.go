@@ -28,6 +28,11 @@ const (
 type Hub struct {
 	cfg      Config
 	counters metrics.CoordCounters
+	// reg is the fleet registry every coordinator of this hub shares:
+	// one entry per worker, covering its capabilities, liveness and
+	// current leases across sweeps. A lease poll or heartbeat updates
+	// it once instead of fanning out to every coordinator.
+	reg *workerRegistry
 
 	mu     sync.Mutex
 	coords map[string]*Coordinator
@@ -36,14 +41,14 @@ type Hub struct {
 
 // NewHub builds a hub; cfg applies to every coordinator it creates.
 func NewHub(cfg Config) *Hub {
-	return &Hub{cfg: cfg, coords: map[string]*Coordinator{}}
+	return &Hub{cfg: cfg, reg: newWorkerRegistry(cfg.ttl()), coords: map[string]*Coordinator{}}
 }
 
 // Distribute implements sweep.Distributor: it stands up a coordinator
 // for the sweep, registers it for leasing, and unregisters it when it
 // finishes.
 func (h *Hub) Distribute(id string, spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, onProgress func(sweep.Progress)) (sweep.DistributedRun, error) {
-	c := NewCoordinator(id, spec, cells, store, h.cfg, &h.counters, onProgress)
+	c := NewCoordinator(id, spec, cells, store, h.cfg, h.reg, &h.counters, onProgress)
 	h.register(c)
 	return c, nil
 }
@@ -73,7 +78,7 @@ func (h *Hub) NeedsRecovery(dir string) (bool, error) {
 // no journal, or the journaled sweep already reached a terminal
 // state.
 func (h *Hub) Recover(spec sweep.Spec, cells []sweep.Cell, store *sweep.Store, onProgress func(sweep.Progress)) (sweep.DistributedRun, string, error) {
-	c, err := recoverCoordinator(spec, cells, store, h.cfg, &h.counters, onProgress)
+	c, err := recoverCoordinator(spec, cells, store, h.cfg, h.reg, &h.counters, onProgress)
 	if err != nil || c == nil {
 		return nil, "", err
 	}
@@ -123,31 +128,21 @@ func (h *Hub) list() []*Coordinator {
 	return out
 }
 
-// observeExcept records the worker's capabilities with every live
-// coordinator but the one already serving it — busy on one sweep is
-// not gone for the others' starvation accounting. A nil except
-// observes every coordinator.
-func (h *Hub) observeExcept(w WorkerID, except *Coordinator) {
-	for _, c := range h.list() {
-		if c != except {
-			c.Observe(w)
-		}
-	}
-}
-
 // lease scans the live coordinators in order for a pending shard the
 // worker is capable of running. active reports whether any coordinator
 // exists at all, and starved that every denial was a capability
 // mismatch — workers use the distinctions to tell "retry soon"
 // (shards merely leased out) from "nothing I can ever serve right
-// now" (counts toward -idle-exit) from "nothing to do". Every
-// coordinator observes the worker's capabilities even after a grant
-// (busy is not gone, for starvation accounting), and a poll counts as
-// starved only when the whole scan ends empty with at least one
-// constraint denial and no merely-busy sweep — a worker served by
-// sweep B is not starved just because sweep A's shards need more than
-// it has.
+// now" (counts toward -idle-exit) from "nothing to do". The poll
+// lands in the fleet registry once — every sweep's starvation
+// accounting reads the same entry, so a worker granted a shard here
+// is still a live capability everywhere else (busy is not gone). A
+// poll counts as starved only when the whole scan ends empty with at
+// least one constraint denial and no merely-busy sweep — a worker
+// served by sweep B is not starved just because sweep A's shards need
+// more than it has.
 func (h *Hub) lease(w WorkerID) (l Lease, ok, active, starved bool) {
+	h.reg.observe(w, time.Now())
 	coords := h.list()
 	var starvedOf []*Coordinator
 	busy := false
@@ -155,7 +150,6 @@ func (h *Hub) lease(w WorkerID) (l Lease, ok, active, starved bool) {
 		g, granted, constrained := c.leaseScan(w)
 		if granted {
 			l, ok = g, true
-			h.observeExcept(w, c)
 			break
 		}
 		if constrained {
@@ -319,10 +313,12 @@ func (h *Hub) Handler() http.Handler {
 			return
 		}
 		wid := WorkerID{Name: req.Worker, Tags: tags, MaxCells: req.MaxCells}
-		c, ok := h.get(req.Sweep)
 		// A heartbeating worker is alive for every sweep's starvation
-		// accounting, not just the one it is busy on.
-		h.observeExcept(wid, c)
+		// accounting, not just the one it is busy on — one registry
+		// write covers them all (and keeps the worker visible even
+		// when the sweep is already gone).
+		h.reg.observe(wid, time.Now())
+		c, ok := h.get(req.Sweep)
 		if !ok || !c.Heartbeat(wid, req.Shard) {
 			writeJSON(w, http.StatusOK, heartbeatResponse{Status: statusStale})
 			return
@@ -407,9 +403,14 @@ func (h *Hub) Handler() http.Handler {
 		for _, c := range coords {
 			out = append(out, c.LeaseTable())
 		}
+		// The fleet rides along at the top level so workers that are
+		// registered but hold no lease — idle tagged workers between
+		// polls, or a fleet polling a hub with no live sweep — stay
+		// visible to operators.
 		writeJSON(w, http.StatusOK, struct {
-			Sweeps []LeaseTable `json:"sweeps"`
-		}{out})
+			Sweeps  []LeaseTable `json:"sweeps"`
+			Workers []WorkerSeen `json:"workers,omitempty"`
+		}{out, h.reg.snapshot(time.Now())})
 	})
 	return mux
 }

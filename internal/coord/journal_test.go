@@ -30,7 +30,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	store, _ := newStore(t, spec, cells)
 	defer store.Close()
 
-	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 2, TTL: 50 * time.Millisecond}, nil, nil)
+	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 2, TTL: 50 * time.Millisecond}, nil, nil, nil)
 	l1, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")
@@ -131,7 +131,7 @@ func TestJournalCompaction(t *testing.T) {
 	store, _ := newStore(t, spec, cells)
 	defer store.Close()
 
-	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 8, TTL: time.Minute}, nil, nil)
+	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 8, TTL: time.Minute}, nil, nil, nil)
 	l, ok := c.Lease(wid("w1"))
 	if !ok {
 		t.Fatal("no lease")

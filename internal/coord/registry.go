@@ -1,0 +1,314 @@
+package coord
+
+import (
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// workerCap is one worker's advertised capabilities as last heard:
+// tags a shard's requires must be a subset of, an optional per-lease
+// cell ceiling, and when the worker last polled or heartbeat. Values
+// are handed out by copy; the tags map is built fresh on every observe
+// and never mutated afterwards, so holding a copy outside the registry
+// lock is safe.
+type workerCap struct {
+	name     string
+	tags     map[string]bool
+	tagList  []string
+	maxCells int
+	seen     time.Time
+}
+
+// fits reports whether this worker can serve a shard needing the given
+// tags with that many cells left.
+func (w workerCap) fits(requires []string, cells int) bool {
+	if w.maxCells > 0 && cells > w.maxCells {
+		return false
+	}
+	return w.fitsTags(requires)
+}
+
+// fitsTags is the tag half of fits — separable because it does not
+// depend on how many cells remain in the shard.
+func (w workerCap) fitsTags(requires []string) bool {
+	for _, tag := range requires {
+		if !w.tags[tag] {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkerLeaseRef names one shard lease a worker currently holds.
+type WorkerLeaseRef struct {
+	Sweep string `json:"sweep"`
+	Shard int    `json:"shard"`
+}
+
+// regWorker is the registry's full record of one worker: its latest
+// capability snapshot, the leases it holds right now across every live
+// sweep, and the shards it has served before (the affinity memory —
+// a worker that ran a config recently still holds its results in the
+// engine cache, so re-leasing related work to it is cheaper).
+type regWorker struct {
+	cap    workerCap
+	leases map[string]WorkerLeaseRef
+	served map[string]bool
+}
+
+// Affinity scores, best first: the worker held this exact shard
+// before (its cache holds these very cells), it served the same
+// requirement group of the same sweep (same configs, different
+// cells), or it is a stranger to the work.
+const (
+	affinityExact = 2
+	affinityGroup = 1
+	affinityNone  = 0
+)
+
+// registryEvictFactor: an idle worker is forgotten once its last
+// poll or heartbeat is this many TTLs old. Workers holding a live
+// lease are never evicted, however stale — the lease table still
+// names them.
+const registryEvictFactor = 10
+
+// registryPruneAbove bounds how large the worker map may grow before
+// every observe also sweeps for evictable entries, so a churning fleet
+// of short-lived worker names cannot grow the registry without bound.
+const registryPruneAbove = 128
+
+// workerRegistry is the hub-level fleet view: one entry per worker
+// name, shared by every coordinator the hub serves. It replaces the
+// per-coordinator worker maps — a heartbeat or lease poll lands here
+// once instead of fanning out to O(sweeps) coordinator locks, and
+// starvation accounting for any sweep reads the same single map.
+//
+// Lock order: Coordinator.mu may be held when registry methods are
+// called, never the reverse — the registry calls nothing back.
+type workerRegistry struct {
+	mu         sync.Mutex
+	evictAfter time.Duration
+	workers    map[string]*regWorker
+}
+
+// newWorkerRegistry builds a registry whose idle-eviction window is
+// derived from the lease TTL the coordinators use.
+func newWorkerRegistry(ttl time.Duration) *workerRegistry {
+	return &workerRegistry{
+		evictAfter: registryEvictFactor * ttl,
+		workers:    map[string]*regWorker{},
+	}
+}
+
+// observe records a worker's advertised capabilities and refreshes its
+// last-seen time — the liveness signal starvation accounting runs
+// against. Tags canonicalise through the same sweep.NormalizeTags the
+// spec side uses, so a worker tag and a shard requirement can never
+// disagree on form; malformed tags (which the HTTP handlers already
+// reject with a 400) are dropped wholesale rather than recorded as
+// unmatchable strings. The returned snapshot is a copy the caller may
+// use without any lock.
+func (r *workerRegistry) observe(w WorkerID, now time.Time) workerCap {
+	list, err := sweep.NormalizeTags(w.Tags)
+	if err != nil {
+		log.Printf("coord: worker %q advertises malformed tags, ignoring them all: %v", w.Name, err)
+		list = nil
+	}
+	tags := make(map[string]bool, len(list))
+	for _, tag := range list {
+		tags[tag] = true
+	}
+	cap := workerCap{name: w.Name, tags: tags, tagList: list, maxCells: w.MaxCells, seen: now}
+	if w.Name == "" {
+		return cap // not tracked; name-less callers cannot heartbeat anyway
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.workers[w.Name]
+	if !ok {
+		if len(r.workers) > registryPruneAbove {
+			r.evictLocked(now)
+		}
+		rw = newRegWorker()
+		r.workers[w.Name] = rw
+	}
+	rw.cap = cap
+	return cap
+}
+
+func newRegWorker() *regWorker {
+	return &regWorker{leases: map[string]WorkerLeaseRef{}, served: map[string]bool{}}
+}
+
+// evictStale forgets workers that are both lease-less and silent for
+// longer than the eviction window, reporting how many were dropped.
+func (r *workerRegistry) evictStale(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictLocked(now)
+}
+
+func (r *workerRegistry) evictLocked(now time.Time) int {
+	n := 0
+	for name, rw := range r.workers {
+		if len(rw.leases) == 0 && now.Sub(rw.cap.seen) > r.evictAfter {
+			delete(r.workers, name)
+			n++
+		}
+	}
+	return n
+}
+
+// liveCaps returns capability snapshots of every worker seen within
+// the window — the denominator of starvation accounting.
+func (r *workerRegistry) liveCaps(now time.Time, window time.Duration) []workerCap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []workerCap
+	for _, rw := range r.workers {
+		if now.Sub(rw.cap.seen) <= window {
+			out = append(out, rw.cap)
+		}
+	}
+	return out
+}
+
+// capOf returns the capability snapshot of one worker, if registered.
+func (r *workerRegistry) capOf(name string) (workerCap, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.workers[name]
+	if !ok {
+		return workerCap{}, false
+	}
+	return rw.cap, true
+}
+
+// servedShardKey / servedGroupKey index the affinity memory. Sweep ids
+// and normalized tags never contain '|', so the forms cannot collide.
+func servedShardKey(sweepID string, shard int) string {
+	return "shard|" + sweepID + "|" + strconv.Itoa(shard)
+}
+
+func servedGroupKey(sweepID, sig string) string {
+	return "group|" + sweepID + "|" + sig
+}
+
+// noteLease records a grant: the worker now holds sweep/shard, and is
+// remembered as having served that shard and its requirement group
+// even after the lease ends. A worker recovered from a journal may be
+// noted before it is ever observed; it is created live (it held a
+// lease moments before the crash) and its capabilities fill in on its
+// next poll or heartbeat.
+func (r *workerRegistry) noteLease(worker, sweepID string, shard int, sig string, now time.Time) {
+	if worker == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.workers[worker]
+	if !ok {
+		rw = newRegWorker()
+		rw.cap = workerCap{name: worker, tags: map[string]bool{}, seen: now}
+		r.workers[worker] = rw
+	}
+	rw.leases[servedShardKey(sweepID, shard)] = WorkerLeaseRef{Sweep: sweepID, Shard: shard}
+	rw.served[servedShardKey(sweepID, shard)] = true
+	rw.served[servedGroupKey(sweepID, sig)] = true
+}
+
+// dropLease forgets a current lease — the shard expired, retired, was
+// quarantined, or an operator released it. The affinity memory stays:
+// the worker's cache does not cool because its lease ended.
+func (r *workerRegistry) dropLease(worker, sweepID string, shard int) {
+	if worker == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rw, ok := r.workers[worker]; ok {
+		delete(rw.leases, servedShardKey(sweepID, shard))
+	}
+}
+
+// dropSweep forgets every current lease and affinity memory of a
+// finished sweep, so the registry stays proportional to the live
+// fleet and its live work.
+func (r *workerRegistry) dropSweep(sweepID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	shardPrefix := "shard|" + sweepID + "|"
+	groupPrefix := "group|" + sweepID + "|"
+	for _, rw := range r.workers {
+		for k := range rw.leases {
+			if strings.HasPrefix(k, shardPrefix) {
+				delete(rw.leases, k)
+			}
+		}
+		for k := range rw.served {
+			if strings.HasPrefix(k, shardPrefix) || strings.HasPrefix(k, groupPrefix) {
+				delete(rw.served, k)
+			}
+		}
+	}
+}
+
+// affinityScore reports how warm the worker's engine cache likely is
+// for a shard: it held this exact shard before, it served the shard's
+// requirement group within the same sweep, or neither.
+func (r *workerRegistry) affinityScore(worker, sweepID string, shard int, sig string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rw, ok := r.workers[worker]
+	if !ok {
+		return affinityNone
+	}
+	if rw.served[servedShardKey(sweepID, shard)] {
+		return affinityExact
+	}
+	if rw.served[servedGroupKey(sweepID, sig)] {
+		return affinityGroup
+	}
+	return affinityNone
+}
+
+// snapshot returns the admin view of every registered worker — idle
+// ones included, which is the point: an operator listing the fleet
+// must see a tagged worker that is merely between polls, or polling a
+// hub with no live sweep at all.
+func (r *workerRegistry) snapshot(now time.Time) []WorkerSeen {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.workers))
+	for name := range r.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]WorkerSeen, 0, len(names))
+	for _, name := range names {
+		rw := r.workers[name]
+		ws := WorkerSeen{
+			Name:       name,
+			Tags:       rw.cap.tagList,
+			MaxCells:   rw.cap.maxCells,
+			LastSeenMS: now.Sub(rw.cap.seen).Milliseconds(),
+		}
+		for _, ref := range rw.leases {
+			ws.Leases = append(ws.Leases, ref)
+		}
+		sort.Slice(ws.Leases, func(i, j int) bool {
+			if ws.Leases[i].Sweep != ws.Leases[j].Sweep {
+				return ws.Leases[i].Sweep < ws.Leases[j].Sweep
+			}
+			return ws.Leases[i].Shard < ws.Leases[j].Shard
+		})
+		out = append(out, ws)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRegistryTTLEviction: an idle worker is forgotten once silent for
+// longer than the eviction window, but never while it still holds a
+// lease — the lease table names it, so the registry must too.
+func TestRegistryTTLEviction(t *testing.T) {
+	r := newWorkerRegistry(time.Second) // evictAfter = 10s
+	t0 := time.Now()
+	r.observe(wid("idler", "bigmem"), t0)
+	r.observe(wid("holder"), t0)
+	r.noteLease("holder", "run-1", 0, "", t0)
+
+	if n := r.evictStale(t0.Add(5 * time.Second)); n != 0 {
+		t.Fatalf("evicted %d workers inside the window, want 0", n)
+	}
+	if _, ok := r.capOf("idler"); !ok {
+		t.Fatal("idler gone before its eviction window lapsed")
+	}
+	if n := r.evictStale(t0.Add(11 * time.Second)); n != 1 {
+		t.Fatalf("evicted %d workers past the window, want 1 (the idler)", n)
+	}
+	if _, ok := r.capOf("idler"); ok {
+		t.Fatal("idler survived eviction")
+	}
+	if _, ok := r.capOf("holder"); !ok {
+		t.Fatal("lease holder evicted while its lease is live")
+	}
+	// Once the lease is dropped, the stale holder goes too.
+	r.dropLease("holder", "run-1", 0)
+	if n := r.evictStale(t0.Add(11 * time.Second)); n != 1 {
+		t.Fatalf("evicted %d workers after the lease dropped, want 1", n)
+	}
+}
+
+// TestRegistryAffinityPrefersPreviousHolder: after both workers lose
+// their leases to expiry, each re-poll routes the worker back to the
+// shard it already ran — its engine cache still holds those cells —
+// instead of first-fit handing both the lowest pending id.
+func TestRegistryAffinityPrefersPreviousHolder(t *testing.T) {
+	spec, cells := eightCellSpec(t)
+	store, _ := newStore(t, spec, cells)
+	defer store.Close()
+
+	c := NewCoordinator("run-1", spec, cells, store, Config{ShardSize: 2, TTL: 30 * time.Millisecond}, nil, nil, nil)
+	defer c.Cancel()
+	l1, ok1 := c.Lease(wid("w1"))
+	l2, ok2 := c.Lease(wid("w2"))
+	if !ok1 || !ok2 {
+		t.Fatal("initial leases not granted")
+	}
+	if l1.Shard == l2.Shard {
+		t.Fatalf("both workers granted shard %d", l1.Shard)
+	}
+	time.Sleep(60 * time.Millisecond) // both leases lapse
+
+	// w2 polls first: first-fit would reclaim and grant w1's old shard
+	// (the lowest pending id); affinity must send w2 back to its own.
+	r2, ok := c.Lease(wid("w2"))
+	if !ok {
+		t.Fatal("w2 re-poll got no lease")
+	}
+	if r2.Shard != l2.Shard {
+		t.Fatalf("w2 re-leased shard %d, want its previous shard %d", r2.Shard, l2.Shard)
+	}
+	r1, ok := c.Lease(wid("w1"))
+	if !ok {
+		t.Fatal("w1 re-poll got no lease")
+	}
+	if r1.Shard != l1.Shard {
+		t.Fatalf("w1 re-leased shard %d, want its previous shard %d", r1.Shard, l1.Shard)
+	}
+	if got := c.counters.Snapshot().LeasesAffine; got != 2 {
+		t.Errorf("leases_affine = %d, want 2", got)
+	}
+}
+
+// TestIdleRegisteredWorkerVisibleToAdmin: a tagged worker polling a
+// hub with no live sweep still appears in GET /coord/admin/leases —
+// before the fleet registry, an idle worker was invisible to
+// operators between polls.
+func TestIdleRegisteredWorkerVisibleToAdmin(t *testing.T) {
+	hub := NewHub(Config{TTL: time.Second})
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(leaseRequest{Worker: "spare", Tags: []string{"bigmem"}, MaxCells: 4})
+	resp, err := http.Post(srv.URL+"/coord/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr leaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lr.Status != statusIdle {
+		t.Fatalf("lease status = %q, want idle (no sweep is live)", lr.Status)
+	}
+
+	resp, err = http.Get(srv.URL + "/coord/admin/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var table struct {
+		Sweeps  []LeaseTable `json:"sweeps"`
+		Workers []WorkerSeen `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Sweeps) != 0 {
+		t.Fatalf("expected no live sweeps, got %d", len(table.Sweeps))
+	}
+	if len(table.Workers) != 1 || table.Workers[0].Name != "spare" {
+		t.Fatalf("workers = %+v, want exactly the idle worker \"spare\"", table.Workers)
+	}
+	w := table.Workers[0]
+	if len(w.Tags) != 1 || w.Tags[0] != "bigmem" || w.MaxCells != 4 || len(w.Leases) != 0 {
+		t.Fatalf("idle worker row = %+v, want tags [bigmem], max_cells 4, no leases", w)
+	}
+}

@@ -63,6 +63,7 @@ func (c *SweepCounters) Snapshot() SweepSnapshot {
 // after a restart and leases restored still live.
 type CoordCounters struct {
 	LeasesGranted    Counter
+	LeasesAffine     Counter
 	LeasesExpired    Counter
 	ShardsReassigned Counter
 	ShardsCompleted  Counter
@@ -86,6 +87,7 @@ type CoordCounters struct {
 // CoordCounters.
 type CoordSnapshot struct {
 	LeasesGranted    uint64 `json:"leases_granted"`
+	LeasesAffine     uint64 `json:"leases_affine"`
 	LeasesExpired    uint64 `json:"leases_expired"`
 	ShardsReassigned uint64 `json:"shards_reassigned"`
 	ShardsCompleted  uint64 `json:"shards_completed"`
@@ -109,6 +111,7 @@ type CoordSnapshot struct {
 func (c *CoordCounters) Snapshot() CoordSnapshot {
 	return CoordSnapshot{
 		LeasesGranted:    c.LeasesGranted.Value(),
+		LeasesAffine:     c.LeasesAffine.Value(),
 		LeasesExpired:    c.LeasesExpired.Value(),
 		ShardsReassigned: c.ShardsReassigned.Value(),
 		ShardsCompleted:  c.ShardsCompleted.Value(),
