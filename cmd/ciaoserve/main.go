@@ -9,6 +9,14 @@
 // resume serving /coord under their original ids (disable with
 // -no-recover).
 //
+// Two servers sharing one -sweepdir federate: each stamps the journals
+// it writes with its -advertise URL, leaves the other's journals alone
+// at boot (redirecting their workers there), and — watching the other
+// through -peer health probes, or told to via POST /coord/adopt —
+// adopts the orphaned sweeps of a dead sibling by replaying their
+// journals, so surviving workers keep their leases across the
+// hand-off.
+//
 // Endpoints:
 //
 //	POST   /run                  one bench × sched cell, synchronous
@@ -32,6 +40,7 @@
 //	                             matching worker)
 //	POST   /coord/heartbeat      worker: renew a lease
 //	POST   /coord/complete       worker: upload a shard's records
+//	POST   /coord/adopt          adopt orphaned sweeps from a dead peer
 //	GET    /coord/status         shard tables of live distributed sweeps
 //	POST   /coord/admin/expire   force-expire a lease ({"sweep","shard"})
 //	POST   /coord/admin/quarantine    park a poisonous shard; the sweep
@@ -54,6 +63,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/coord"
@@ -72,6 +82,8 @@ func main() {
 		leaseTTL  = flag.Duration("leasettl", coord.DefaultTTL, "distributed sweeps: lease TTL without a heartbeat")
 		maxLeases = flag.Int("maxleases", coord.DefaultMaxLeases, "distributed sweeps: leases per shard before the sweep fails terminally")
 		noRecover = flag.Bool("no-recover", false, "skip crash recovery of interrupted distributed sweeps under -sweepdir")
+		advertise = flag.String("advertise", "", "federation: this server's URL, stamped into sweep journals as their owner (enables peer adoption)")
+		peer      = flag.String("peer", "", "federation: sibling server URL sharing -sweepdir; its orphaned sweeps are adopted when it stops answering /healthz")
 	)
 	flag.Parse()
 
@@ -80,9 +92,10 @@ func main() {
 		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
 	}
 	engine := service.NewEngine(service.Config{Workers: *workers, CacheEntries: cacheEntries, MaxJobs: *jobs})
-	hub := coord.NewHub(coord.Config{ShardSize: *shardSize, TTL: *leaseTTL, MaxLeases: *maxLeases})
+	hub := coord.NewHub(coord.Config{ShardSize: *shardSize, TTL: *leaseTTL, MaxLeases: *maxLeases, Advertise: *advertise, Peer: *peer})
 	sweeps := sweep.NewManager(engine, *sweepDir, 0)
 	sweeps.SetDistributor(hub)
+	hub.SetAdoptFunc(sweeps.AdoptOrphans)
 	if !*noRecover {
 		// Resume distributed sweeps a crash or restart interrupted:
 		// their coordinators rebuild from the per-sweep journal and
@@ -95,6 +108,9 @@ func main() {
 		} else if n > 0 {
 			log.Printf("recovered %d distributed sweep(s) from %s", n, *sweepDir)
 		}
+	}
+	if *peer != "" {
+		go watchPeer(*peer, *leaseTTL, sweeps.AdoptOrphans)
 	}
 
 	mux := http.NewServeMux()
@@ -116,6 +132,51 @@ func main() {
 	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s shardsize=%d leasettl=%s)",
 		*addr, *workers, *entries, *sweepDir, *shardSize, *leaseTTL)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// peerFailThreshold: consecutive failed health probes before the peer
+// is presumed dead and its orphaned sweeps adopted. One failure is a
+// blip (a restart, a slow GC pause); several in a row across probe
+// intervals is an outage worth taking the fleet over for.
+const peerFailThreshold = 3
+
+// watchPeer probes the sibling server's /healthz and, once it has
+// stayed unreachable for peerFailThreshold consecutive probes, adopts
+// every orphaned sweep under the shared -sweepdir. Watching continues
+// afterwards — the peer may come back, die again, and leave new
+// orphans (a restarted peer that finds its old sweeps adopted here
+// simply redirects their workers this way, so a false positive costs
+// a hand-off, not correctness).
+func watchPeer(peer string, ttl time.Duration, adopt func() (int, error)) {
+	interval := ttl
+	if interval < 2*time.Second {
+		interval = 2 * time.Second
+	}
+	client := &http.Client{Timeout: interval}
+	url := strings.TrimRight(peer, "/") + "/healthz"
+	fails := 0
+	for {
+		time.Sleep(interval)
+		resp, err := client.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			fails = 0
+			continue
+		}
+		fails++
+		if fails < peerFailThreshold {
+			continue
+		}
+		log.Printf("peer %s unreachable for %d probe(s): adopting its orphaned sweeps", peer, fails)
+		n, aerr := adopt()
+		if aerr != nil {
+			log.Printf("adopt from %s: %v", peer, aerr)
+		}
+		if n > 0 {
+			log.Printf("adopted %d sweep(s) orphaned by %s", n, peer)
+		}
+		fails = 0 // re-arm: adoption is idempotent, but don't spin every probe
+	}
 }
 
 func logRequests(next http.Handler) http.Handler {

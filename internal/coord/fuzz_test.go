@@ -51,6 +51,14 @@ func FuzzJournalReplay(f *testing.F) {
 			`{"t":"lease","shard":99,"worker":"w"}` + "\n" +
 			`{"t":"retire","shard":1}` + "\n" +
 			`{"t":"renew","shard":0,"expi`,
+		// Federation: an owned snapshot handed off by an adopt line —
+		// ownership moves, the shard table must not.
+		`{"t":"snapshot","sweep":"fuzz-sweep","owner":"http://a:1","shards":[` +
+			`{"id":0,"indexes":[0,1],"state":"pending"},` +
+			`{"id":1,"indexes":[2,3],"state":"done"}]}` + "\n" +
+			`{"t":"lease","shard":0,"worker":"w1","expires":"2026-07-29T00:00:00Z","leases":1}` + "\n" +
+			`{"t":"adopt","sweep":"fuzz-sweep","owner":"http://b:2"}` + "\n" +
+			`{"t":"lease","shard":1,"worker":"evil","expires":"2026-07-29T00:00:00Z","leases":9}` + "\n",
 		// No snapshot at all; deltas against an empty table.
 		`{"t":"retire","shard":0}` + "\n" + `{"t":"finish"}` + "\n",
 		"",

@@ -163,7 +163,7 @@ func TestCompleteRetryBackoffGivesUpEventually(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	w := &worker{cfg: WorkerConfig{Logf: t.Logf}, name: "w1", base: srv.URL}
+	w := &worker{cfg: WorkerConfig{Logf: t.Logf}, name: "w1", bases: []string{srv.URL}}
 	err := w.complete(context.Background(), Lease{Sweep: "s", Shard: 0}, nil, 3)
 	if err == nil {
 		t.Fatal("complete against a dead server returned nil")
@@ -188,7 +188,7 @@ func TestCompleteRetryHonorsContext(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
-	w := &worker{cfg: WorkerConfig{}, name: "w1", base: srv.URL}
+	w := &worker{cfg: WorkerConfig{}, name: "w1", bases: []string{srv.URL}}
 	start := time.Now()
 	err := w.complete(ctx, Lease{Sweep: "s", Shard: 0}, nil, abandonAttempts)
 	if err == nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -88,6 +89,19 @@ func (m *Manager) SetDistributor(d Distributor) { m.dist = d }
 type Recoverer interface {
 	NeedsRecovery(dir string) (bool, error)
 	Recover(spec Spec, cells []Cell, store *Store, onProgress func(Progress)) (run DistributedRun, id string, err error)
+}
+
+// Adopter is the Distributor extension for federation: taking over a
+// sweep that a *different* server owns, once that server is known
+// dead. Orphaned probes one sweep directory — the journaled owner and
+// whether the sweep is unfinished — without opening the store; Adopt
+// then rebuilds and serves the sweep here regardless of the journaled
+// owner, re-stamping the journal so the old owner's restart defers to
+// this server. The liveness judgement stays with the caller (operator
+// or peer watcher); the manager only supplies the mechanics.
+type Adopter interface {
+	Orphaned(dir string) (owner string, orphaned bool, err error)
+	Adopt(spec Spec, cells []Cell, store *Store, onProgress func(Progress)) (run DistributedRun, id string, err error)
 }
 
 // Run is one managed sweep execution.
@@ -342,6 +356,68 @@ func (m *Manager) recoverDir(rec Recoverer, dir string) (bool, error) {
 	if err != nil || !need {
 		return false, err
 	}
+	return m.resumeDir(dir, rec.Recover)
+}
+
+// AdoptOrphans scans the base directory for unfinished distributed
+// sweeps — whoever their journals say owns them — and takes each one
+// over through the distributor's Adopt. It is the action behind
+// POST /coord/adopt and the peer health watcher: call it only when the
+// sweeps' owner is believed dead, because adopting out from under a
+// live server splits the lease table. Sweeps already running here
+// (this server's own, or previously adopted) are skipped by the
+// spec-key reservation inside resumeDir.
+func (m *Manager) AdoptOrphans() (adopted int, err error) {
+	adp, ok := m.dist.(Adopter)
+	if !ok {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(m.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.dir, ent.Name())
+		if _, serr := os.Stat(filepath.Join(dir, CoordJournalFile)); serr != nil {
+			continue
+		}
+		owner, orphaned, oerr := adp.Orphaned(dir)
+		if oerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", dir, oerr))
+			continue
+		}
+		if !orphaned {
+			continue
+		}
+		ok, rerr := m.resumeDir(dir, adp.Adopt)
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", dir, rerr))
+			continue
+		}
+		if ok {
+			if owner == "" {
+				owner = "(unowned journal)"
+			}
+			log.Printf("sweep: adopted %s from %s", dir, owner)
+			adopted++
+		}
+	}
+	return adopted, errors.Join(errs...)
+}
+
+// resumeDir rebuilds one sweep directory's run through resume (the
+// distributor's Recover or Adopt) and registers it under its original
+// id — the shared tail of crash recovery and federation adoption.
+// It reports false when the directory holds nothing resumable or its
+// spec is already running here.
+func (m *Manager) resumeDir(dir string, resume func(Spec, []Cell, *Store, func(Progress)) (DistributedRun, string, error)) (bool, error) {
 	man, err := readManifest(dir)
 	if err != nil {
 		return false, err
@@ -378,7 +454,7 @@ func (m *Manager) recoverDir(rec Recoverer, dir string) (bool, error) {
 		done:    make(chan struct{}),
 		prog:    Progress{State: StateRunning, Total: len(cells)},
 	}
-	d, id, err := rec.Recover(spec, cells, store, m.progressSink(run))
+	d, id, err := resume(spec, cells, store, m.progressSink(run))
 	if err != nil || d == nil {
 		store.Close()
 		cancel()
