@@ -48,7 +48,17 @@
 //	POST   /coord/admin/unquarantine  release a parked shard
 //	GET    /coord/admin/leases   live lease tables (ages, tags, renews)
 //	GET    /metrics              cache/engine/sweep/coordinator counters
+//	                             plus per-route RED metrics; JSON by
+//	                             default, Prometheus text exposition
+//	                             with ?format=prom or Accept: text/plain
 //	GET    /healthz              liveness + the same counters
+//
+// Every request is classified into a bounded route-class label and
+// observed into RED (rate, errors, duration) series; /run and /sweeps
+// shed load with 429 + Retry-After once the engine queue or observed
+// p95 latency degrades past -maxqueue / -shedlatency, and -clientrate
+// adds a per-client token bucket. SIGINT/SIGTERM drains in-flight
+// requests for up to -drain before exiting.
 //
 // Example:
 //
@@ -60,15 +70,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/coord"
-	"repro/internal/service"
-	"repro/internal/sweep"
 )
 
 func main() {
@@ -84,18 +96,30 @@ func main() {
 		noRecover = flag.Bool("no-recover", false, "skip crash recovery of interrupted distributed sweeps under -sweepdir")
 		advertise = flag.String("advertise", "", "federation: this server's URL, stamped into sweep journals as their owner (enables peer adoption)")
 		peer      = flag.String("peer", "", "federation: sibling server URL sharing -sweepdir; its orphaned sweeps are adopted when it stops answering /healthz")
+
+		maxQueue    = flag.Int("maxqueue", 256, "overload: max requests queued for an engine slot before /run and /sweeps shed with 429 (<= 0 disables)")
+		shedLatency = flag.Duration("shedlatency", 0, "overload: shed /run and /sweeps when the observed /run p95 exceeds this (0 disables)")
+		clientRate  = flag.Float64("clientrate", 0, "overload: per-client request rate on the work-creating POSTs, requests/second (0 disables)")
+		clientBurst = flag.Int("clientburst", 0, "overload: per-client burst allowance (0 = derived from -clientrate)")
+		drain       = flag.Duration("drain", 15*time.Second, "shutdown: how long to drain in-flight requests after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	cacheEntries := *entries
-	if cacheEntries <= 0 {
-		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
-	}
-	engine := service.NewEngine(service.Config{Workers: *workers, CacheEntries: cacheEntries, MaxJobs: *jobs})
-	hub := coord.NewHub(coord.Config{ShardSize: *shardSize, TTL: *leaseTTL, MaxLeases: *maxLeases, Advertise: *advertise, Peer: *peer})
-	sweeps := sweep.NewManager(engine, *sweepDir, 0)
-	sweeps.SetDistributor(hub)
-	hub.SetAdoptFunc(sweeps.AdoptOrphans)
+	s := newServer(serverOpts{
+		workers:      *workers,
+		cacheEntries: *entries,
+		jobs:         *jobs,
+		sweepDir:     *sweepDir,
+		shardSize:    *shardSize,
+		leaseTTL:     *leaseTTL,
+		maxLeases:    *maxLeases,
+		advertise:    *advertise,
+		peer:         *peer,
+		maxQueue:     *maxQueue,
+		shedLatency:  *shedLatency,
+		clientRate:   *clientRate,
+		clientBurst:  *clientBurst,
+	})
 	if !*noRecover {
 		// Resume distributed sweeps a crash or restart interrupted:
 		// their coordinators rebuild from the per-sweep journal and
@@ -103,35 +127,51 @@ func main() {
 		// that outlived the outage stay on their leases. A recovery
 		// failure is loud but not fatal — the flag exists to boot past
 		// a poisonous sweep directory.
-		if n, err := sweeps.Recover(); err != nil {
+		if n, err := s.sweeps.Recover(); err != nil {
 			log.Printf("sweep recovery: %v (start with -no-recover to skip)", err)
 		} else if n > 0 {
 			log.Printf("recovered %d distributed sweep(s) from %s", n, *sweepDir)
 		}
 	}
 	if *peer != "" {
-		go watchPeer(*peer, *leaseTTL, sweeps.AdoptOrphans)
+		go watchPeer(*peer, *leaseTTL, s.sweeps.AdoptOrphans)
 	}
-
-	mux := http.NewServeMux()
-	mux.Handle("/sweeps", sweeps.Handler())
-	mux.Handle("/sweeps/", sweeps.Handler())
-	mux.Handle("/coord/", hub.Handler())
-	mux.Handle("/", service.NewHandlerWith(engine, func() map[string]any {
-		return map[string]any{
-			"sweeps": sweeps.MetricsSnapshot(),
-			"coord":  hub.MetricsSnapshot(),
-		}
-	}))
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(mux),
+		Addr:    *addr,
+		Handler: s.handler,
+		// ReadTimeout bounds slow request uploads (bodies are tiny
+		// specs); IdleTimeout reaps abandoned keep-alive connections.
+		// WriteTimeout stays zero: the sweep results endpoint streams
+		// for as long as a sweep runs.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s shardsize=%d leasettl=%s)",
-		*addr, *workers, *entries, *sweepDir, *shardSize, *leaseTTL)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ciaoserve listening on %s (workers=%d cache=%d sweepdir=%s shardsize=%d leasettl=%s maxqueue=%d)",
+		*addr, *workers, *entries, *sweepDir, *shardSize, *leaseTTL, *maxQueue)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("signal received; draining for up to %s", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("drain incomplete after %s: %v; closing", *drain, err)
+			srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}
 }
 
 // peerFailThreshold: consecutive failed health probes before the peer
@@ -177,40 +217,4 @@ func watchPeer(peer string, ttl time.Duration, adopt func() (int, error)) {
 		}
 		fails = 0 // re-arm: adoption is idempotent, but don't spin every probe
 	}
-}
-
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		log.Printf("%s %s %d %s cache=%s",
-			r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond),
-			orDash(rec.Header().Get("X-Cache")))
-	})
-}
-
-type statusRecorder struct {
-	http.ResponseWriter
-	code int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.code = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards streaming flushes (the sweep results endpoint tails
-// a file) through the logging wrapper.
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-func orDash(s string) string {
-	if s == "" {
-		return "-"
-	}
-	return s
 }

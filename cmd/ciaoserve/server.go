@@ -1,0 +1,133 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/httpx"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/sweep"
+)
+
+// serverOpts assembles one ciaoserve instance. Zero values mean the
+// same defaults the flags document; run and logf are test hooks (nil =
+// the real executor and the standard access log).
+type serverOpts struct {
+	workers      int
+	cacheEntries int
+	jobs         int
+	sweepDir     string
+	parallelism  int
+
+	shardSize int
+	leaseTTL  time.Duration
+	maxLeases int
+	advertise string
+	peer      string
+
+	// Overload protection: maxQueue bounds requests waiting for an
+	// engine slot before /run and /sweeps shed with 429; shedLatency
+	// sheds when the observed /run p95 degrades past it (0 = off);
+	// clientRate/clientBurst configure the per-client token bucket
+	// (rate 0 = off).
+	maxQueue    int
+	shedLatency time.Duration
+	clientRate  float64
+	clientBurst int
+
+	run  service.RunFunc
+	logf func(r *http.Request, code int, bytes int64, d time.Duration)
+}
+
+// server is the assembled ciaoserve instance: every subsystem plus the
+// fully wrapped handler (routing, admission control, rate limiting,
+// RED instrumentation).
+type server struct {
+	engine  *service.Engine
+	hub     *coord.Hub
+	sweeps  *sweep.Manager
+	red     *metrics.RED
+	handler http.Handler
+}
+
+// newServer wires the engine, sweep manager, and coordinator hub into
+// one handler behind the observability and backpressure middleware:
+//
+//	Instrument (RED + access log)
+//	  └─ mux
+//	       POST /run, /sweeps, /experiment → rate limiter → admission → handler
+//	       everything else → handler
+//
+// The admission controllers on /run and /sweeps have separate accept
+// queues (a sweep burst cannot starve /run of queue slots) but share
+// the shed signals: the engine's slot-wait depth and the windowed p95
+// of /run latency.
+func newServer(o serverOpts) *server {
+	cacheEntries := o.cacheEntries
+	if cacheEntries <= 0 {
+		cacheEntries = -1 // the engine treats 0 as "default"; the flag means "off"
+	}
+	engine := service.NewEngine(service.Config{Workers: o.workers, CacheEntries: cacheEntries, MaxJobs: o.jobs, Run: o.run})
+	hub := coord.NewHub(coord.Config{ShardSize: o.shardSize, TTL: o.leaseTTL, MaxLeases: o.maxLeases, Advertise: o.advertise, Peer: o.peer})
+	sweeps := sweep.NewManager(engine, o.sweepDir, o.parallelism)
+	sweeps.SetDistributor(hub)
+	hub.SetAdoptFunc(sweeps.AdoptOrphans)
+
+	red := metrics.NewRED()
+	sweepRED := metrics.NewRED()
+	sweeps.SetRED(sweepRED)
+
+	sweepH := sweeps.Handler()
+	svc := service.NewHandlerOpts(engine, service.HandlerOptions{
+		Extra: func() map[string]any {
+			return map[string]any{
+				"sweeps": sweeps.MetricsSnapshot(),
+				"coord":  hub.MetricsSnapshot(),
+			}
+		},
+		HTTPRED: red,
+		Prom:    []func(*metrics.PromWriter){sweeps.WriteProm, hub.WriteProm},
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/sweeps", sweepH)
+	mux.Handle("/sweeps/", sweepH)
+	mux.Handle("/coord/", hub.Handler())
+	mux.Handle("/", svc)
+
+	// Backpressure wraps only the POSTs that create work; the Go 1.22
+	// method+path patterns are more specific than the catch-alls above,
+	// so they win routing for exactly those requests.
+	runSeries := red.Series("/run")
+	sweepSeries := red.Series("/sweeps")
+	window := metrics.NewWindow(runSeries, time.Second)
+	admit := httpx.AdmissionConfig{
+		MaxQueue:    o.maxQueue,
+		ShedLatency: o.shedLatency,
+		Depth:       engine.QueueDepth,
+		P95:         window.P95,
+	}
+	limiter := httpx.NewRateLimiter(o.clientRate, o.clientBurst)
+	runAdmit := httpx.NewAdmission(admit)
+	sweepAdmit := httpx.NewAdmission(admit)
+	mux.Handle("POST /run", limiter.Wrap(runSeries, runAdmit.Wrap(runSeries, svc)))
+	mux.Handle("POST /experiment", limiter.Wrap(red.Series("/experiment"), svc))
+	mux.Handle("POST /sweeps", limiter.Wrap(sweepSeries, sweepAdmit.Wrap(sweepSeries, sweepH)))
+
+	logf := o.logf
+	if logf == nil {
+		logf = func(r *http.Request, code int, bytes int64, d time.Duration) {
+			log.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, code, bytes, d.Round(time.Microsecond))
+		}
+	}
+	return &server{
+		engine:  engine,
+		hub:     hub,
+		sweeps:  sweeps,
+		red:     red,
+		handler: httpx.Instrument(red, logf, mux),
+	}
+}

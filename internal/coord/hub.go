@@ -290,6 +290,33 @@ func (h *Hub) MetricsSnapshot() HubMetrics {
 	return HubMetrics{Active: active, CoordSnapshot: h.counters.Snapshot()}
 }
 
+// WriteProm emits the coordinator counters in Prometheus text format.
+// Metric names are coord_<field> with the CoordSnapshot JSON tags as
+// field names, matching the JSON /metrics payload one-for-one.
+func (h *Hub) WriteProm(p *metrics.PromWriter) {
+	m := h.MetricsSnapshot()
+	p.Gauge("coord_active", "Live distributed sweeps on this server.", float64(m.Active))
+	p.Counter("coord_leases_granted", "Shard leases granted to workers.", m.LeasesGranted)
+	p.Counter("coord_leases_affine", "Leases steered to a worker that already held the shard's bench.", m.LeasesAffine)
+	p.Counter("coord_leases_expired", "Leases expired after missed heartbeats.", m.LeasesExpired)
+	p.Counter("coord_shards_reassigned", "Shards re-queued after lease expiry.", m.ShardsReassigned)
+	p.Counter("coord_shards_completed", "Shards acked complete.", m.ShardsCompleted)
+	p.Counter("coord_records_merged", "Worker records merged into canonical stores.", m.RecordsMerged)
+	p.Counter("coord_records_deduped", "Worker records dropped as duplicates.", m.RecordsDeduped)
+	p.Counter("coord_stale_acks", "Completes or heartbeats from expired leases.", m.StaleAcks)
+	p.Counter("coord_leases_starved", "Lease polls denied for lack of matching shards.", m.LeasesStarved)
+	p.Counter("coord_admin_expired", "Leases force-expired by an operator.", m.AdminExpired)
+	p.Counter("coord_shards_quarantined", "Shards quarantined by an operator.", m.ShardsQuarantined)
+	p.Counter("coord_shards_unquarantined", "Shards released from quarantine.", m.ShardsUnquarantined)
+	p.Counter("coord_journal_entries", "Journal entries appended.", m.JournalEntries)
+	p.Counter("coord_journal_replayed", "Journal entries replayed on recovery.", m.JournalReplayed)
+	p.Counter("coord_journal_compactions", "Journal compaction rewrites.", m.JournalCompactions)
+	p.Counter("coord_sweeps_recovered", "Sweeps reconstructed after a restart.", m.SweepsRecovered)
+	p.Counter("coord_leases_recovered", "Leases restored still live after a restart.", m.LeasesRecovered)
+	p.Counter("coord_sweeps_adopted", "Orphaned sweeps adopted from dead peers.", m.SweepsAdopted)
+	p.Counter("coord_redirects_served", "Worker requests redirected to a sweep's owner.", m.RedirectsServed)
+}
+
 // Lease statuses on the wire.
 const (
 	statusShard = "shard" // a lease was granted

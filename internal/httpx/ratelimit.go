@@ -1,0 +1,126 @@
+package httpx
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ClientIDHeader lets a client name itself for rate-limiting purposes
+// (useful behind a shared NAT or proxy); without it the remote address
+// host identifies the client.
+const ClientIDHeader = "X-Client-ID"
+
+// ClientKey extracts the rate-limit identity of a request.
+func ClientKey(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// RateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, and a request spends one. A nil
+// *RateLimiter admits everything, so a disabled limiter needs no
+// branching at the call sites.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+	// maxClients bounds the tracked-client map; reaching it evicts
+	// every bucket idle long enough to have fully refilled (forgetting
+	// those clients loses nothing — a full bucket is a fresh bucket).
+	maxClients int
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter granting rate requests/second with
+// the given burst ceiling per client. rate <= 0 returns nil (limiting
+// disabled). burst < 1 defaults to max(2×rate, 1).
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(2*rate, 1)
+	}
+	return &RateLimiter{rate: rate, burst: b, clients: map[string]*tokenBucket{}, maxClients: 8192}
+}
+
+// Allow reports whether the client may proceed at time now, spending a
+// token if so, and the wait until its next token when not.
+func (l *RateLimiter) Allow(key string, now time.Time) (ok bool, wait time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tb, found := l.clients[key]
+	if !found {
+		if len(l.clients) >= l.maxClients {
+			l.evictIdleLocked(now)
+		}
+		tb = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[key] = tb
+	} else {
+		dt := now.Sub(tb.last).Seconds()
+		if dt > 0 {
+			tb.tokens = math.Min(l.burst, tb.tokens+dt*l.rate)
+			tb.last = now
+		}
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	need := (1 - tb.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictIdleLocked drops buckets idle long enough to be full again.
+// Callers hold l.mu.
+func (l *RateLimiter) evictIdleLocked(now time.Time) {
+	fullAfter := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, tb := range l.clients {
+		if now.Sub(tb.last) >= fullAfter {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// Wrap guards next with the limiter, counting rejections into series.
+// A nil limiter returns next unchanged.
+func (l *RateLimiter) Wrap(series *metrics.Series, next http.Handler) http.Handler {
+	if l == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := l.Allow(ClientKey(r), time.Now())
+		if !ok {
+			if series != nil {
+				series.CountRateLimited()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+			Error(w, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded for client %q", ClientKey(r)))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,130 @@
+package httpx
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	l := NewRateLimiter(1, 2) // 1 rps, burst 2
+	now := time.Now()
+	if ok, _ := l.Allow("c", now); !ok {
+		t.Fatal("first request denied")
+	}
+	if ok, _ := l.Allow("c", now); !ok {
+		t.Fatal("burst request denied")
+	}
+	ok, wait := l.Allow("c", now)
+	if ok {
+		t.Fatal("third instant request admitted past burst")
+	}
+	if wait <= 0 || wait > 1100*time.Millisecond {
+		t.Fatalf("wait = %s, want ~1s", wait)
+	}
+	// Other clients are independent.
+	if ok, _ := l.Allow("other", now); !ok {
+		t.Fatal("independent client denied")
+	}
+	// A second later one token is back.
+	if ok, _ := l.Allow("c", now.Add(time.Second)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	// Refill caps at burst.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c", later); !ok {
+			t.Fatalf("post-idle request %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("c", later); ok {
+		t.Fatal("burst cap not enforced after idle refill")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	if l := NewRateLimiter(0, 10); l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	var l *RateLimiter
+	if ok, _ := l.Allow("c", time.Now()); !ok {
+		t.Fatal("nil limiter must admit")
+	}
+	h := l.Wrap(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) }))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/run", nil))
+	if rr.Code != 200 {
+		t.Fatalf("nil limiter code = %d", rr.Code)
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	l := NewRateLimiter(100, 1)
+	l.maxClients = 8
+	now := time.Now()
+	for i := 0; i < 8; i++ {
+		l.Allow(fmt.Sprintf("c%d", i), now)
+	}
+	// All 8 buckets refill within 10ms (burst 1 / 100 rps); a new
+	// client far in the future evicts them rather than growing the map.
+	l.Allow("fresh", now.Add(time.Minute))
+	l.mu.Lock()
+	n := len(l.clients)
+	l.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("tracked clients after eviction = %d, want 1", n)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest("POST", "/run", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if k := ClientKey(r); k != "10.1.2.3" {
+		t.Fatalf("key = %q, want host", k)
+	}
+	r.Header.Set(ClientIDHeader, "tenant-42")
+	if k := ClientKey(r); k != "tenant-42" {
+		t.Fatalf("key = %q, want header id", k)
+	}
+}
+
+func TestRateLimiterWrap(t *testing.T) {
+	red := metrics.NewRED()
+	series := red.Series("/run")
+	l := NewRateLimiter(1, 1)
+	h := l.Wrap(series, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) }))
+
+	mk := func() *http.Request {
+		r := httptest.NewRequest("POST", "/run", nil)
+		r.RemoteAddr = "10.0.0.1:1234"
+		return r
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, mk())
+	if rr.Code != 200 {
+		t.Fatalf("first request code = %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, mk())
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second instant request code = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	// A different client is unaffected.
+	other := mk()
+	other.Header.Set(ClientIDHeader, "someone-else")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, other)
+	if rr.Code != 200 {
+		t.Fatalf("other client code = %d, want 200", rr.Code)
+	}
+	if snap := series.Snapshot(); snap.RateLimited != 1 {
+		t.Fatalf("rate_limited counter = %d, want 1", snap.RateLimited)
+	}
+}

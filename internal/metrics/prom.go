@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4)
+// without any dependency: counters, gauges and histograms, with HELP
+// and TYPE headers deduplicated per metric name so several label sets
+// of one metric share a single header block.
+type PromWriter struct {
+	w     io.Writer
+	err   error
+	typed map[string]bool
+}
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewPromWriter wraps w. Write errors are sticky and surfaced by Err.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) print(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// head emits the HELP/TYPE block for a metric name once.
+func (p *PromWriter) head(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	p.print("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.print("# TYPE " + name + " " + typ + "\n")
+}
+
+// sample emits one sample line: name{labels} value.
+func (p *PromWriter) sample(name string, labels []string, value string) {
+	p.print(name + formatLabels(labels) + " " + value + "\n")
+}
+
+// Counter emits a monotonic counter sample. labels are alternating
+// key/value pairs.
+func (p *PromWriter) Counter(name, help string, value uint64, labels ...string) {
+	p.head(name, help, "counter")
+	p.sample(name, labels, strconv.FormatUint(value, 10))
+}
+
+// Gauge emits a gauge sample.
+func (p *PromWriter) Gauge(name, help string, value float64, labels ...string) {
+	p.head(name, help, "gauge")
+	p.sample(name, labels, formatFloat(value))
+}
+
+// Histogram emits a full histogram: one _bucket line per bound (in
+// ascending order, cumulative counts) plus the implicit +Inf bucket,
+// then _sum (seconds) and _count. counts holds per-bucket (not
+// cumulative) observation counts, one per bound plus the overflow.
+func (p *PromWriter) Histogram(name, help string, boundsSeconds []float64, counts []uint64, sumSeconds float64, labels ...string) {
+	p.head(name, help, "histogram")
+	var cum uint64
+	for i, b := range boundsSeconds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.sample(name+"_bucket", append(labels, "le", formatFloat(b)), strconv.FormatUint(cum, 10))
+	}
+	for i := len(boundsSeconds); i < len(counts); i++ {
+		cum += counts[i]
+	}
+	p.sample(name+"_bucket", append(labels, "le", "+Inf"), strconv.FormatUint(cum, 10))
+	p.sample(name+"_sum", labels, formatFloat(sumSeconds))
+	p.sample(name+"_count", labels, strconv.FormatUint(cum, 10))
+}
+
+// formatLabels renders {k="v",...} from alternating pairs ("" for none).
+func formatLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EscapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm exports every series of the registry, metric-major (every
+// route's request counter, then every route's error counter, …) so
+// each metric family appears exactly once. prefix is the metric
+// namespace ("ciao_http" → ciao_http_requests_total, …) and label the
+// series label name ("route", "sweep"). Names are sorted for stable
+// output.
+func (r *RED) WriteProm(p *PromWriter, prefix, label string) {
+	names := r.Names()
+	type row struct {
+		name   string
+		series *Series
+	}
+	rows := make([]row, 0, len(names))
+	for _, n := range names {
+		if v, ok := r.series.Load(n); ok {
+			rows = append(rows, row{n, v.(*Series)})
+		}
+	}
+	bounds := RedBoundsSeconds()
+	for _, rw := range rows {
+		req, _, _, _, _, _ := rw.series.Totals()
+		p.Counter(prefix+"_requests_total", "Requests handled, by "+label+".", req, label, rw.name)
+	}
+	for _, rw := range rows {
+		_, errs, _, _, _, _ := rw.series.Totals()
+		p.Counter(prefix+"_request_errors_total", "Requests that failed (5xx / failed cells), by "+label+".", errs, label, rw.name)
+	}
+	for _, rw := range rows {
+		_, _, shed, _, _, _ := rw.series.Totals()
+		p.Counter(prefix+"_requests_shed_total", "Requests rejected by overload admission control (429), by "+label+".", shed, label, rw.name)
+	}
+	for _, rw := range rows {
+		_, _, _, rl, _, _ := rw.series.Totals()
+		p.Counter(prefix+"_rate_limited_total", "Requests rejected by the per-client rate limiter (429), by "+label+".", rl, label, rw.name)
+	}
+	for _, rw := range rows {
+		_, _, _, _, bytes, _ := rw.series.Totals()
+		p.Counter(prefix+"_response_bytes_total", "Response payload bytes written, by "+label+".", bytes, label, rw.name)
+	}
+	for _, rw := range rows {
+		counts := rw.series.BucketCounts()
+		_, _, _, _, _, dur := rw.series.Totals()
+		p.Histogram(prefix+"_request_seconds", "Request duration, by "+label+".",
+			bounds, counts[:], float64(dur)/float64(time.Second), label, rw.name)
+	}
+}

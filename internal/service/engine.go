@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -45,6 +46,7 @@ type Engine struct {
 	seq       uint64
 	runs      metrics.Counter
 	submitted metrics.Counter
+	waiting   atomic.Int64
 }
 
 type flight struct {
@@ -102,6 +104,32 @@ func (e *Engine) Simulations() uint64 { return e.runs.Value() }
 // JobsSubmitted returns how many async jobs Submit accepted.
 func (e *Engine) JobsSubmitted() uint64 { return e.submitted.Value() }
 
+// QueueDepth reports how many requests are blocked waiting for a
+// worker slot right now. The admission controller sheds new work when
+// this grows past its bound.
+func (e *Engine) QueueDepth() int {
+	if n := e.waiting.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// Running reports how many worker slots are currently occupied.
+func (e *Engine) Running() int { return len(e.slots) }
+
+// WriteProm emits the engine's counters in Prometheus text format.
+func (e *Engine) WriteProm(p *metrics.PromWriter) {
+	cache := e.cache.Stats()
+	p.Counter("ciao_cache_hits_total", "Result cache hits.", cache.Hits)
+	p.Counter("ciao_cache_misses_total", "Result cache misses.", cache.Misses)
+	p.Counter("ciao_cache_evictions_total", "Result cache evictions.", cache.Evictions)
+	p.Gauge("ciao_cache_entries", "Live result cache entries.", float64(e.cache.Len()))
+	p.Counter("ciao_simulations_total", "Simulations actually executed (cache hits excluded).", e.Simulations())
+	p.Counter("ciao_jobs_submitted_total", "Async experiment jobs accepted.", e.JobsSubmitted())
+	p.Gauge("ciao_engine_queue_depth", "Requests waiting for a worker slot.", float64(e.QueueDepth()))
+	p.Gauge("ciao_engine_running", "Worker slots currently occupied.", float64(e.Running()))
+}
+
 // Run executes the spec synchronously, deduplicating against the
 // cache and any identical in-flight request. The returned payload is
 // shared and must not be mutated.
@@ -127,7 +155,9 @@ func (e *Engine) Run(spec Spec) ([]byte, Source, error) {
 	e.inflight[key] = f
 	e.mu.Unlock()
 
+	e.waiting.Add(1)
 	e.slots <- struct{}{}
+	e.waiting.Add(-1)
 	e.runs.Inc()
 	payload, err := e.run(spec)
 	<-e.slots

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/httpx"
+	"repro/internal/metrics"
 )
 
 // maxBodyBytes bounds request bodies; specs are tiny.
@@ -36,13 +37,36 @@ type MetricsSnapshot struct {
 	// Extra carries additional subsystems keyed by name (e.g.
 	// "sweeps": cells completed, failures).
 	Extra map[string]any `json:"extra,omitempty"`
+	// HTTP carries per-route RED snapshots (requests, errors, shed,
+	// latency quantiles) when the server installed the RED middleware.
+	HTTP map[string]metrics.SeriesSnapshot `json:"http,omitempty"`
 }
 
-// NewHandlerWith is NewHandler plus an extra-metrics hook: when
-// non-nil, extra() is folded into /metrics and /healthz under "extra"
-// (ciaoserve passes the sweep manager's counters here — the service
-// package cannot import the sweep package, which sits above it).
+// HandlerOptions extends NewHandler with hooks owned by layers the
+// service package cannot import (sweep, coord sit above it) plus the
+// RED registry the server's middleware feeds.
+type HandlerOptions struct {
+	// Extra is folded into the JSON /metrics and /healthz payloads
+	// under "extra", keyed by subsystem.
+	Extra func() map[string]any
+	// HTTPRED, when set, adds per-route RED snapshots to the JSON
+	// payload and ciao_http_* families to the Prometheus exposition.
+	HTTPRED *metrics.RED
+	// Prom hooks let other subsystems append their own families to the
+	// Prometheus exposition (sweep manager, coordinator hub).
+	Prom []func(*metrics.PromWriter)
+}
+
+// NewHandlerWith is NewHandler plus an extra-metrics hook; see
+// NewHandlerOpts for the full option set.
 func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
+	return NewHandlerOpts(e, HandlerOptions{Extra: extra})
+}
+
+// NewHandlerOpts builds the service handler with observability hooks.
+// GET /metrics answers JSON by default and Prometheus text exposition
+// when the request asks for it (?format=prom or Accept: text/plain).
+func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 	snapshot := func() MetricsSnapshot {
 		s := MetricsSnapshot{
 			Cache:         e.Cache().Stats(),
@@ -50,10 +74,24 @@ func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
 			Simulations:   e.Simulations(),
 			JobsSubmitted: e.JobsSubmitted(),
 		}
-		if extra != nil {
-			s.Extra = extra()
+		if opts.Extra != nil {
+			s.Extra = opts.Extra()
+		}
+		if opts.HTTPRED != nil {
+			s.HTTP = opts.HTTPRED.Snapshot()
 		}
 		return s
+	}
+	writeProm := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		p := metrics.NewPromWriter(w)
+		e.WriteProm(p)
+		if opts.HTTPRED != nil {
+			opts.HTTPRED.WriteProm(p, "ciao_http", "route")
+		}
+		for _, hook := range opts.Prom {
+			hook(p)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
@@ -106,6 +144,10 @@ func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if httpx.WantsProm(r) {
+			writeProm(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, snapshot())
 	})
 

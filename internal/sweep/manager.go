@@ -36,6 +36,7 @@ type Manager struct {
 	seq      uint64
 
 	counters metrics.SweepCounters
+	red      *metrics.RED // per-sweep cell RED series, nil = disabled
 }
 
 // NewManager builds a manager persisting sweeps under dir.
@@ -77,6 +78,24 @@ type DistributedRun interface {
 // SetDistributor installs the coordinator hub that executes sweeps
 // whose spec sets "distributed": true. Call before serving requests.
 func (m *Manager) SetDistributor(d Distributor) { m.dist = d }
+
+// SetRED installs a registry for per-sweep cell RED series: every
+// record a sweep's store accepts — local runner results and
+// coordinator merges alike — is observed into a series labeled by the
+// sweep id, with the cell's elapsed time as the duration. Call before
+// serving requests.
+func (m *Manager) SetRED(r *metrics.RED) { m.red = r }
+
+// observeStore hooks a sweep's store into the RED registry.
+func (m *Manager) observeStore(id string, store *Store) {
+	if m.red == nil {
+		return
+	}
+	s := m.red.Series(id)
+	store.SetObserver(func(rec CellRecord) {
+		s.Observe(time.Duration(rec.Elapsed)*time.Millisecond, rec.Status == StatusFailed)
+	})
+}
 
 // Recoverer is the optional Distributor extension for crash-safe
 // coordinators. NeedsRecovery cheaply reports whether a sweep
@@ -205,6 +224,7 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 		}
 	}
 
+	m.observeStore(id, store)
 	ctx, cancel := context.WithCancel(context.Background())
 	run := &Run{
 		id:      id,
@@ -461,6 +481,7 @@ func (m *Manager) resumeDir(dir string, resume func(Spec, []Cell, *Store, func(P
 		return false, err
 	}
 	run.id = id
+	m.observeStore(id, store)
 
 	m.mu.Lock()
 	m.runs[id] = run
@@ -573,6 +594,30 @@ func (m *Manager) MetricsSnapshot() map[string]any {
 		"cells_failed": snap.CellsFailed,
 		"active":       active,
 		"tracked":      total,
+	}
+}
+
+// WriteProm emits the sweep counters — and, when SetRED was called,
+// the per-sweep cell RED families labeled by sweep id — in Prometheus
+// text format.
+func (m *Manager) WriteProm(p *metrics.PromWriter) {
+	m.mu.Lock()
+	active := 0
+	for _, r := range m.runs {
+		if r.Progress().State == StateRunning {
+			active++
+		}
+	}
+	tracked := len(m.runs)
+	m.mu.Unlock()
+	snap := m.counters.Snapshot()
+	p.Counter("ciao_sweeps_started_total", "Sweeps started.", snap.Started)
+	p.Counter("ciao_sweep_cells_done_total", "Sweep cells completed successfully.", snap.CellsDone)
+	p.Counter("ciao_sweep_cells_failed_total", "Sweep cell failures.", snap.CellsFailed)
+	p.Gauge("ciao_sweeps_active", "Sweeps currently running.", float64(active))
+	p.Gauge("ciao_sweeps_tracked", "Sweep run records retained in memory.", float64(tracked))
+	if m.red != nil {
+		m.red.WriteProm(p, "ciao_sweep_cell", "sweep")
 	}
 }
 

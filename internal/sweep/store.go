@@ -66,11 +66,12 @@ type Store struct {
 	dir      string
 	manifest Manifest
 
-	mu      sync.Mutex
-	f       *os.File
-	done    map[string]float64  // key → IPC of the last "ok" record
-	failed  map[string]struct{} // keys with failures and no success yet
-	corrupt int                 // complete-but-unparseable lines seen by load
+	mu       sync.Mutex
+	f        *os.File
+	done     map[string]float64  // key → IPC of the last "ok" record
+	failed   map[string]struct{} // keys with failures and no success yet
+	corrupt  int                 // complete-but-unparseable lines seen by load
+	observer func(CellRecord)    // sees each appended record (metrics)
 }
 
 // Sink receives cell records as a sweep executes. *Store is the
@@ -300,6 +301,16 @@ const (
 	StatusFailed = "failed"
 )
 
+// SetObserver installs a callback that sees every record Append
+// accepts — the single choke point covering both local runner results
+// and coordinator merges of worker uploads, which is where per-sweep
+// RED metrics hook in. Pass nil to detach.
+func (s *Store) SetObserver(fn func(CellRecord)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
 // Append writes one record as a single NDJSON line and updates the
 // completed set.
 func (s *Store) Append(rec CellRecord) error {
@@ -309,11 +320,18 @@ func (s *Store) Append(rec CellRecord) error {
 	}
 	line = append(line, '\n')
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.f.Write(line); err != nil {
-		return fmt.Errorf("sweep: append result: %w", err)
+	_, werr := s.f.Write(line)
+	if werr == nil {
+		s.record(rec)
 	}
-	s.record(rec)
+	obs := s.observer
+	s.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("sweep: append result: %w", werr)
+	}
+	if obs != nil {
+		obs(rec)
+	}
 	return nil
 }
 
