@@ -9,13 +9,21 @@
 // resume serving /coord under their original ids (disable with
 // -no-recover).
 //
-// Two servers sharing one -sweepdir federate: each stamps the journals
-// it writes with its -advertise URL, leaves the other's journals alone
-// at boot (redirecting their workers there), and — watching the other
-// through -peer health probes, or told to via POST /coord/adopt —
-// adopts the orphaned sweeps of a dead sibling by replaying their
+// Sweep results live in a tiered store: an append-only NDJSON tail
+// per sweep, compacted (automatically past -compact-after records, or
+// on demand) into immutable, optionally gzip'd segments that read
+// back as one logical stream. Live /sweeps/{id}/results followers
+// share one broadcast of the append path instead of polling the file.
+//
+// Two servers federate through -advertise/-peer: each stamps the
+// journals it writes with its own URL, leaves the other's journals
+// alone at boot (redirecting their workers there), and — watching the
+// other through -peer health probes, or told to via POST /coord/adopt
+// — adopts the orphaned sweeps of a dead sibling by replaying their
 // journals, so surviving workers keep their leases across the
-// hand-off.
+// hand-off. A shared -sweepdir is no longer required: while the peer
+// is healthy its live sweeps are mirrored here over HTTP (segment
+// blobs, tail, journal), and adoption replays the mirror.
 //
 // Endpoints:
 //
@@ -31,8 +39,14 @@
 //	GET    /sweeps               list sweeps
 //	GET    /sweeps/{id}          sweep progress (done/total, failures,
 //	                             geomean-so-far)
-//	GET    /sweeps/{id}/results  stream results as NDJSON (live tail;
-//	                             ?follow=0 for a snapshot)
+//	GET    /sweeps/{id}/results  stream results as NDJSON (segments +
+//	                             live tail; ?follow=0 for a snapshot)
+//	POST   /sweeps/{id}/compact  compact the live tail's settled prefix
+//	                             into an immutable segment now
+//	GET    /sweeps/{id}/segments segment blob names; append /{name} for
+//	                             the raw blob (what a peer mirrors)
+//	GET    /sweeps/{id}/store/{manifest|tail|journal}
+//	                             the rest of the sweep directory, raw
 //	DELETE /sweeps/{id}          cancel a sweep (results kept on disk)
 //	POST   /coord/lease          worker: acquire a shard lease (workers
 //	                             advertise capability tags + max-cells
@@ -95,7 +109,11 @@ func main() {
 		maxLeases = flag.Int("maxleases", coord.DefaultMaxLeases, "distributed sweeps: leases per shard before the sweep fails terminally")
 		noRecover = flag.Bool("no-recover", false, "skip crash recovery of interrupted distributed sweeps under -sweepdir")
 		advertise = flag.String("advertise", "", "federation: this server's URL, stamped into sweep journals as their owner (enables peer adoption)")
-		peer      = flag.String("peer", "", "federation: sibling server URL sharing -sweepdir; its orphaned sweeps are adopted when it stops answering /healthz")
+		peer      = flag.String("peer", "", "federation: sibling server URL; its live sweeps are mirrored here over HTTP and its orphaned sweeps adopted when it stops answering /healthz (a shared -sweepdir also works, mirroring then no-ops)")
+
+		compactAfter = flag.Int("compact-after", 4096, "result store: auto-compact a sweep's live tail into an immutable segment once it holds this many records (0 = only on POST /sweeps/{id}/compact)")
+		gzipSegments = flag.Bool("gzip-segments", false, "result store: gzip-compress newly written segments")
+		syncResults  = flag.Bool("sync-results", false, "result store: fsync after every settled cell record; off, a power loss can drop the last unflushed lines (their cells re-run on resume)")
 
 		maxQueue    = flag.Int("maxqueue", 256, "overload: max requests queued for an engine slot before /run and /sweeps shed with 429 (<= 0 disables)")
 		shedLatency = flag.Duration("shedlatency", 0, "overload: shed /run and /sweeps when the observed /run p95 exceeds this (0 disables)")
@@ -115,6 +133,9 @@ func main() {
 		maxLeases:    *maxLeases,
 		advertise:    *advertise,
 		peer:         *peer,
+		compactAfter: *compactAfter,
+		gzipSegments: *gzipSegments,
+		syncResults:  *syncResults,
 		maxQueue:     *maxQueue,
 		shedLatency:  *shedLatency,
 		clientRate:   *clientRate,
@@ -134,7 +155,7 @@ func main() {
 		}
 	}
 	if *peer != "" {
-		go watchPeer(*peer, *leaseTTL, s.sweeps.AdoptOrphans)
+		go watchPeer(*peer, *leaseTTL, s.sweeps.AdoptOrphans, s.sweeps.MirrorFrom)
 	}
 
 	srv := &http.Server{
@@ -180,14 +201,20 @@ func main() {
 // intervals is an outage worth taking the fleet over for.
 const peerFailThreshold = 3
 
-// watchPeer probes the sibling server's /healthz and, once it has
-// stayed unreachable for peerFailThreshold consecutive probes, adopts
-// every orphaned sweep under the shared -sweepdir. Watching continues
-// afterwards — the peer may come back, die again, and leave new
-// orphans (a restarted peer that finds its old sweeps adopted here
-// simply redirects their workers this way, so a false positive costs
-// a hand-off, not correctness).
-func watchPeer(peer string, ttl time.Duration, adopt func() (int, error)) {
+// watchPeer probes the sibling server's /healthz. While the peer is
+// healthy, each probe also refreshes this server's warm-standby
+// mirror of the peer's live distributed sweeps — segment blobs, tail
+// and journal fetched over HTTP into this server's own -sweepdir —
+// so federation no longer requires a shared filesystem (on a shared
+// directory the mirror refuses to touch the peer's files and the old
+// behaviour is unchanged). Once the peer has stayed unreachable for
+// peerFailThreshold consecutive probes, every orphaned sweep found
+// locally — shared directory or mirror alike — is adopted. Watching
+// continues afterwards — the peer may come back, die again, and leave
+// new orphans (a restarted peer that finds its old sweeps adopted
+// here simply redirects their workers this way, so a false positive
+// costs a hand-off, not correctness).
+func watchPeer(peer string, ttl time.Duration, adopt func() (int, error), mirror func(string) (int, error)) {
 	interval := ttl
 	if interval < 2*time.Second {
 		interval = 2 * time.Second
@@ -195,12 +222,21 @@ func watchPeer(peer string, ttl time.Duration, adopt func() (int, error)) {
 	client := &http.Client{Timeout: interval}
 	url := strings.TrimRight(peer, "/") + "/healthz"
 	fails := 0
+	mirrorFailed := false
 	for {
 		time.Sleep(interval)
 		resp, err := client.Get(url)
 		if err == nil {
 			resp.Body.Close()
 			fails = 0
+			if _, merr := mirror(peer); merr != nil {
+				if !mirrorFailed {
+					log.Printf("mirror from %s: %v", peer, merr)
+				}
+				mirrorFailed = true // log once per streak, not per probe
+			} else {
+				mirrorFailed = false
+			}
 			continue
 		}
 		fails++

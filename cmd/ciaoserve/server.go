@@ -28,6 +28,14 @@ type serverOpts struct {
 	advertise string
 	peer      string
 
+	// Tiered result store tuning: compactAfter auto-freezes a sweep's
+	// settled tail prefix into an immutable segment once the tail holds
+	// that many records (0 = on-demand only), gzipSegments compresses
+	// new segments, syncResults fsyncs every settled record.
+	compactAfter int
+	gzipSegments bool
+	syncResults  bool
+
 	// Overload protection: maxQueue bounds requests waiting for an
 	// engine slot before /run and /sweeps shed with 429; shedLatency
 	// sheds when the observed /run p95 degrades past it (0 = off);
@@ -73,6 +81,11 @@ func newServer(o serverOpts) *server {
 	engine := service.NewEngine(service.Config{Workers: o.workers, CacheEntries: cacheEntries, MaxJobs: o.jobs, Run: o.run})
 	hub := coord.NewHub(coord.Config{ShardSize: o.shardSize, TTL: o.leaseTTL, MaxLeases: o.maxLeases, Advertise: o.advertise, Peer: o.peer})
 	sweeps := sweep.NewManager(engine, o.sweepDir, o.parallelism)
+	sweeps.SetStoreOptions(sweep.StoreOptions{
+		SyncAppend:   o.syncResults,
+		CompactAfter: o.compactAfter,
+		GzipSegments: o.gzipSegments,
+	})
 	sweeps.SetDistributor(hub)
 	hub.SetAdoptFunc(sweeps.AdoptOrphans)
 

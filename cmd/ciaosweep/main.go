@@ -65,6 +65,8 @@ func main() {
 		maxCells  = flag.Int("maxcells", 0, "worker: largest shard (in cells) to accept per lease (0 = unlimited)")
 		idleExit  = flag.Duration("idle-exit", 0, "worker: exit after the coordinator has been idle this long (0 = poll forever)")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: lease poll interval when no shard is available (±25% jitter)")
+		compact   = flag.Bool("compact", false, "compact the store's settled records into an immutable segment after a run or merge finishes")
+		gzipSegs  = flag.Bool("gzip-segments", false, "gzip-compress segments written by -compact")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -75,9 +77,9 @@ func main() {
 	case *workerURL != "":
 		err = runWorker(*workerURL, *name, *tags, *workers, *entries, *maxCells, *idleExit, *poll)
 	case *merge != "":
-		err = runMerge(*specPath, *dir, *merge)
+		err = runMerge(*specPath, *dir, *merge, *compact, *gzipSegs)
 	default:
-		err = run(*specPath, *dir, *resume, *workers, *entries, *shard, *every)
+		err = run(*specPath, *dir, *resume, *workers, *entries, *shard, *every, *compact, *gzipSegs)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -115,8 +117,24 @@ func splitTags(s string) []string {
 	return strings.Split(s, ",")
 }
 
+// compactStore freezes a store's settled records into a segment (the
+// -compact flag's shared tail for runs and merges).
+func compactStore(store *sweep.Store, gzipSegs bool) error {
+	store.SetOptions(sweep.StoreOptions{GzipSegments: gzipSegs})
+	seg, compacted, err := store.Compact()
+	if err != nil {
+		return err
+	}
+	if compacted {
+		log.Printf("compacted %d record(s) (%d bytes) into %s", seg.Records, seg.Bytes, seg.Name)
+	}
+	return nil
+}
+
 // runMerge collapses hand-sharded stores into one canonical store.
-func runMerge(specPath, dir, srcs string) error {
+// Segmented sources merge like flat ones — ReadRecords walks their
+// segments and tail as one stream.
+func runMerge(specPath, dir, srcs string, compact, gzipSegs bool) error {
 	if specPath == "" {
 		return errors.New("-spec is required")
 	}
@@ -148,10 +166,13 @@ func runMerge(specPath, dir, srcs string) error {
 		log.Printf("merged %s: %d record(s) appended, %d duplicate(s) skipped", src, merged, skipped)
 	}
 	log.Printf("%s now holds %d/%d completed cells", dir, len(store.Completed()), len(cells))
+	if compact {
+		return compactStore(store, gzipSegs)
+	}
 	return nil
 }
 
-func run(specPath, dir string, resume bool, workers, entries int, shard string, every time.Duration) error {
+func run(specPath, dir string, resume bool, workers, entries int, shard string, every time.Duration, compact, gzipSegs bool) error {
 	if specPath == "" {
 		return errors.New("-spec is required")
 	}
@@ -230,6 +251,9 @@ func run(specPath, dir string, resume bool, workers, entries int, shard string, 
 	case sweep.StateDone:
 		if final.Failed > 0 {
 			return fmt.Errorf("%d of %d cells failed (see %s)", final.Failed, final.Total, store.ResultsPath())
+		}
+		if compact {
+			return compactStore(store, gzipSegs)
 		}
 		return nil
 	default:

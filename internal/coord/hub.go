@@ -1,11 +1,14 @@
 package coord
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -91,6 +94,13 @@ func (h *Hub) Distribute(id string, spec sweep.Spec, cells []sweep.Cell, store *
 // redirect instead, so this server's answer to that sweep's surviving
 // workers is "go there", not "stale". A journal with no owner predates
 // federation and stays recoverable by anyone.
+//
+// A self-owned journal gets one more check when a -peer is configured:
+// with *separate* sweep directories (mirror-based federation), a peer
+// that adopted this sweep while we were down re-stamped only its own
+// copy of the journal — ours still says we own it. Recovering it here
+// anyway would run the sweep twice, so if the peer is live and serving
+// the sweep right now, this server defers and redirects instead.
 func (h *Hub) NeedsRecovery(dir string) (bool, error) {
 	st, err := replayJournal(filepath.Join(dir, sweep.CoordJournalFile))
 	if errors.Is(err, fs.ErrNotExist) {
@@ -108,7 +118,37 @@ func (h *Hub) NeedsRecovery(dir string) (bool, error) {
 		h.mu.Unlock()
 		return false, nil
 	}
+	if h.cfg.Peer != "" && h.peerServes(st.sweepID) {
+		h.mu.Lock()
+		h.redirects[st.sweepID] = h.cfg.Peer
+		h.mu.Unlock()
+		return false, nil
+	}
 	return true, nil
+}
+
+// peerServes probes whether the configured peer is live and currently
+// serving the sweep. A dead or unreachable peer answers false fast
+// (boot-time recovery must not hang on it); only an explicit "running"
+// counts — a finished or unknown sweep on the peer is no reason to
+// withhold recovery here.
+func (h *Hub) peerServes(sweepID string) bool {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(strings.TrimRight(h.cfg.Peer, "/") + "/sweeps/" + sweepID)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, maxControlBytes)).Decode(&st) != nil {
+		return false
+	}
+	return st.State == string(sweep.StateRunning)
 }
 
 // Orphaned implements the probe half of sweep.Adopter: it reports the

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// benchRecord builds a CellRecord with a payload shaped like a real
+// harness result, so append/read costs reflect production line sizes.
+func benchRecord(i int) CellRecord {
+	payload, _ := json.Marshal(map[string]any{
+		"bench": "SYRK", "sched": "GTO", "ipc": 1.8342,
+		"l1_miss": 0.2213, "dram_bw": 0.4871, "cycles": 1828413 + i,
+	})
+	return CellRecord{
+		Key:    fmt.Sprintf("SYRK|GTO|%d", i),
+		Status: StatusOK,
+		Result: payload,
+	}
+}
+
+// BenchmarkStoreAppend measures the hot write path: one NDJSON line
+// appended, deduped, and broadcast (with no subscribers attached).
+func BenchmarkStoreAppend(b *testing.B) {
+	st, err := Create(filepath.Join(b.TempDir(), "s"), "bench", testSpec(), b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	rec := benchRecord(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Key = fmt.Sprintf("SYRK|GTO|%d", i)
+		if err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentRead measures a full ReadRecords over a compacted
+// store — the recovery/merge read path — for plain and gzip segments.
+func BenchmarkSegmentRead(b *testing.B) {
+	const records = 4096
+	for _, gz := range []bool{false, true} {
+		name := "plain"
+		if gz {
+			name = "gzip"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "s")
+			st, err := Create(dir, "bench", testSpec(), records)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.SetOptions(StoreOptions{GzipSegments: gz})
+			for i := 0; i < records; i++ {
+				if err := st.Append(benchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, ok, err := st.Compact(); err != nil || !ok {
+				b.Fatalf("Compact = (%v, %v)", ok, err)
+			}
+			st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs, corrupt, err := ReadRecords(dir)
+				if err != nil || corrupt != 0 || len(recs) != records {
+					b.Fatalf("ReadRecords = (%d recs, %d corrupt, %v)", len(recs), corrupt, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// Compact freezes the live tail's settled prefix into a new immutable
+// segment, leaving a short tail behind. It is safe at any moment of a
+// running sweep (appends serialise against it) and idempotent — a
+// tail with nothing settled at its head compacts to nothing. The
+// logical result stream (segments then tail) is byte-identical before
+// and after, so concurrent followers and ReadRecords never observe
+// the rewrite.
+//
+// Write protocol, ordered so a kill at any instant is recoverable by
+// load:
+//
+//  1. the prefix bytes are written (optionally gzip'd) as a new
+//     segment blob — an orphan blob if we die here, overwritten by the
+//     next compaction;
+//  2. the remaining tail is staged to results.ndjson.tmp (fsync'd) —
+//     deleted by load if we die here;
+//  3. segments.json is atomically replaced naming the new segment —
+//     THE commit point;
+//  4. the staged tail renames over results.ndjson and the append
+//     handle reopens — if we die between 3 and 4, load detects the
+//     tail still starts with the committed segment's bytes and
+//     finishes the swap.
+//
+// It reports whether a segment was written and, if so, which.
+func (s *Store) Compact() (SegmentInfo, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() (SegmentInfo, bool, error) {
+	tail, err := os.ReadFile(s.tailPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return SegmentInfo{}, false, nil
+	}
+	if err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("sweep: compact: %w", err)
+	}
+	prefix, nrecs := s.settledPrefixLocked(tail)
+	if nrecs == 0 {
+		return SegmentInfo{}, false, nil
+	}
+	seg := SegmentInfo{
+		Name:    segmentName(len(s.segs)+1, s.opts.GzipSegments),
+		Records: nrecs,
+		Bytes:   int64(prefix),
+		Gzip:    s.opts.GzipSegments,
+	}
+	blob, err := encodeSegment(tail[:prefix], seg.Gzip)
+	if err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("sweep: compact: %w", err)
+	}
+	if err := s.backend.Put(seg.Name, blob); err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("sweep: compact: %w", err)
+	}
+	rest := tail[prefix:]
+	tmp := s.tailPath() + ".tmp"
+	if err := stageFileSync(tmp, rest); err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("sweep: compact: stage tail: %w", err)
+	}
+	newSegs := append(append([]SegmentInfo(nil), s.segs...), seg)
+	if err := commitSegmentList(s.backend, newSegs); err != nil {
+		os.Remove(tmp)
+		return SegmentInfo{}, false, err
+	}
+	// Commit point passed: the segment exists. Finish the tail swap and
+	// move the append handle onto the new inode — the old handle points
+	// at the replaced file and must not receive another write. A closed
+	// store (compacting a finished sweep) has no handle to move.
+	if err := os.Rename(tmp, s.tailPath()); err != nil {
+		return SegmentInfo{}, false, fmt.Errorf("sweep: compact: swap tail: %w", err)
+	}
+	if s.f != nil {
+		nf, err := os.OpenFile(s.tailPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return SegmentInfo{}, false, fmt.Errorf("sweep: compact: reopen tail: %w", err)
+		}
+		s.f.Close()
+		s.f = nf
+	}
+
+	s.segs = newSegs
+	s.segBytes += seg.Bytes
+	s.tailLen = int64(len(rest))
+	s.tailRecs -= nrecs
+	if s.tailRecs < 0 {
+		s.tailRecs = 0
+	}
+	if s.counters != nil {
+		s.counters.Compactions.Inc()
+		s.counters.SegmentsWritten.Inc()
+		s.counters.SegmentBytes.Add(uint64(prefix))
+	}
+	return seg, true, nil
+}
+
+// settledPrefixLocked measures the longest tail prefix of complete,
+// parseable, settled lines — records whose cell has a stored success.
+// That freezes both the "ok" lines themselves and the failed attempts
+// of cells that later succeeded (their bytes are final history), while
+// a failed-only cell's line halts the prefix: the cell will re-run and
+// append again, and rewriting means the line is not final yet. Torn or
+// corrupt lines halt it too — segments hold only clean records.
+// Callers hold s.mu.
+func (s *Store) settledPrefixLocked(tail []byte) (prefix, nrecs int) {
+	off := 0
+	for off < len(tail) {
+		nl := bytes.IndexByte(tail[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := tail[off : off+nl]
+		var rec CellRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+			break
+		}
+		if _, settled := s.done[rec.Key]; !settled {
+			break
+		}
+		off += nl + 1
+		nrecs++
+	}
+	return off, nrecs
+}
+
+// stageFileSync writes data to exactly path (no rename — the caller
+// renames later; the name is the protocol) and fsyncs it.
+func stageFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

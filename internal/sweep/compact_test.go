@@ -1,0 +1,377 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// okRec builds a minimal successful record for store tests.
+func okRec(key string, ipc float64) CellRecord {
+	return CellRecord{Key: key, Bench: "SYRK", Sched: "GTO", Status: StatusOK, IPC: ipc,
+		Result: json.RawMessage(fmt.Sprintf(`{"ipc":%g}`, ipc))}
+}
+
+// streamBytes snapshots the store's full logical result stream.
+func streamBytes(t *testing.T, st *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.CopyRange(&buf, 0, st.LogicalSize()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCompactByteIdentity is the tentpole invariant: freezing the
+// settled prefix into a segment must not change a single byte of the
+// logical stream, nor any record ReadRecords returns, gzip'd or not.
+func TestCompactByteIdentity(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		t.Run(fmt.Sprintf("gzip=%v", gz), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "s")
+			st, err := Create(dir, "id", testSpec(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.SetOptions(StoreOptions{GzipSegments: gz})
+			// failed-then-ok for k2: the failure line is settled history
+			// once the success lands, so both lines freeze.
+			for _, rec := range []CellRecord{
+				okRec("k1", 1.5),
+				{Key: "k2", Status: StatusFailed, Error: "boom"},
+				okRec("k2", 2.5),
+				okRec("k3", 3.5),
+			} {
+				if err := st.Append(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := streamBytes(t, st)
+			recsBefore, corrupt, err := ReadRecords(dir)
+			if err != nil || corrupt != 0 {
+				t.Fatalf("ReadRecords before = (%d corrupt, %v)", corrupt, err)
+			}
+
+			seg, compacted, err := st.Compact()
+			if err != nil || !compacted {
+				t.Fatalf("Compact = (%v, %v)", compacted, err)
+			}
+			if seg.Records != 4 || seg.Bytes != int64(len(before)) || seg.Gzip != gz {
+				t.Fatalf("segment = %+v, want all 4 records (%d bytes)", seg, len(before))
+			}
+			if got := streamBytes(t, st); !bytes.Equal(got, before) {
+				t.Error("logical stream changed across compaction")
+			}
+			if st.LogicalSize() != int64(len(before)) {
+				t.Errorf("LogicalSize = %d, want %d", st.LogicalSize(), len(before))
+			}
+			recsAfter, corrupt, err := ReadRecords(dir)
+			if err != nil || corrupt != 0 {
+				t.Fatalf("ReadRecords after = (%d corrupt, %v)", corrupt, err)
+			}
+			if !reflect.DeepEqual(recsAfter, recsBefore) {
+				t.Error("ReadRecords changed across compaction")
+			}
+
+			// The store stays appendable; a reopened store agrees on
+			// everything and sees the segment.
+			if err := st.Append(okRec("k4", 4.5)); err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+			re, err := Open(dir, testSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			done := re.Completed()
+			if len(done) != 4 || done["k2"] != 2.5 || done["k4"] != 4.5 {
+				t.Errorf("completed after reopen = %v", done)
+			}
+			if segs := re.Segments(); len(segs) != 1 || segs[0] != seg {
+				t.Errorf("reopened segments = %+v, want [%+v]", segs, seg)
+			}
+		})
+	}
+}
+
+// TestCompactSettledPrefixStopsAtUnsettledCell: a failed-only cell's
+// line is not final (the cell will re-run and append again), so it
+// halts the frozen prefix even when settled lines follow it.
+func TestCompactSettledPrefixStopsAtUnsettledCell(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	st, err := Create(dir, "id", testSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, rec := range []CellRecord{
+		okRec("k1", 1),
+		{Key: "k2", Status: StatusFailed, Error: "boom"},
+		okRec("k3", 3),
+	} {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, compacted, err := st.Compact()
+	if err != nil || !compacted {
+		t.Fatalf("Compact = (%v, %v)", compacted, err)
+	}
+	if seg.Records != 1 {
+		t.Fatalf("segment froze %d records, want only k1 (k2 is unsettled)", seg.Records)
+	}
+
+	// Once k2 succeeds, its old failure line becomes settled history and
+	// the whole remaining tail freezes.
+	if err := st.Append(okRec("k2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	seg2, compacted, err := st.Compact()
+	if err != nil || !compacted {
+		t.Fatalf("second Compact = (%v, %v)", compacted, err)
+	}
+	if seg2.Records != 3 {
+		t.Fatalf("second segment froze %d records, want the remaining 3", seg2.Records)
+	}
+	recs, corrupt, err := ReadRecords(dir)
+	if err != nil || corrupt != 0 || len(recs) != 4 {
+		t.Fatalf("ReadRecords = (%d recs, %d corrupt, %v), want all 4", len(recs), corrupt, err)
+	}
+	done := st.Completed()
+	if len(done) != 3 || done["k2"] != 2 {
+		t.Errorf("completed = %v", done)
+	}
+}
+
+// TestCompactNoopCases: nothing settled at the tail's head — or no
+// tail at all — compacts to nothing, and compaction is idempotent.
+func TestCompactNoopCases(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	st, err := Create(dir, "id", testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, compacted, err := st.Compact(); err != nil || compacted {
+		t.Fatalf("compacting an empty store = (%v, %v), want a no-op", compacted, err)
+	}
+	if err := st.Append(CellRecord{Key: "k1", Status: StatusFailed, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, compacted, err := st.Compact(); err != nil || compacted {
+		t.Fatalf("compacting a failed-only tail = (%v, %v), want a no-op", compacted, err)
+	}
+	if err := st.Append(okRec("k1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, compacted, err := st.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact = (%v, %v)", compacted, err)
+	}
+	// Immediately re-compacting an empty tail is a no-op, not segment 2.
+	if _, compacted, err := st.Compact(); err != nil || compacted {
+		t.Fatalf("re-Compact = (%v, %v), want a no-op", compacted, err)
+	}
+	if segs := st.Segments(); len(segs) != 1 {
+		t.Errorf("segments = %+v, want exactly 1", segs)
+	}
+}
+
+// TestCompactClosedStore: operators compact finished sweeps (POST
+// /sweeps/{id}/compact after the run closed the store), so Compact
+// must work without a live append handle.
+func TestCompactClosedStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	st, err := Create(dir, "id", testSpec(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Append(okRec("k1", 1))
+	st.Append(okRec("k2", 2))
+	before := streamBytes(t, st)
+	st.Close()
+
+	if _, compacted, err := st.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact on a closed store = (%v, %v)", compacted, err)
+	}
+	if got := streamBytes(t, st); !bytes.Equal(got, before) {
+		t.Error("closed-store compaction changed the stream")
+	}
+	recs, corrupt, err := ReadRecords(dir)
+	if err != nil || corrupt != 0 || len(recs) != 2 {
+		t.Fatalf("ReadRecords = (%d recs, %d corrupt, %v)", len(recs), corrupt, err)
+	}
+}
+
+// TestAutoCompactThreshold: with CompactAfter set, Append itself
+// freezes the tail every time it accumulates that many records.
+func TestAutoCompactThreshold(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	st, err := Create(dir, "id", testSpec(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetOptions(StoreOptions{CompactAfter: 4})
+	for i := 0; i < 8; i++ {
+		if err := st.Append(okRec(fmt.Sprintf("k%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+		want := (i + 1) / 4
+		if got := len(st.Segments()); got != want {
+			t.Fatalf("after %d appends: %d segments, want %d", i+1, got, want)
+		}
+	}
+	for i, seg := range st.Segments() {
+		if seg.Records != 4 {
+			t.Errorf("segment %d holds %d records, want 4", i, seg.Records)
+		}
+	}
+	recs, corrupt, err := ReadRecords(dir)
+	if err != nil || corrupt != 0 || len(recs) != 8 {
+		t.Fatalf("ReadRecords = (%d recs, %d corrupt, %v)", len(recs), corrupt, err)
+	}
+}
+
+// TestOpenRepairsInterruptedCompaction reconstructs the two on-disk
+// states a kill mid-compaction leaves behind (see Compact's write
+// protocol) and checks that both reopening and the read-only
+// ReadRecords see exactly the records of the uninterrupted store — no
+// duplicates, no losses.
+func TestOpenRepairsInterruptedCompaction(t *testing.T) {
+	build := func(t *testing.T) (dir string, want []CellRecord) {
+		dir = filepath.Join(t.TempDir(), "s")
+		st, err := Create(dir, "id", testSpec(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := st.Append(okRec(fmt.Sprintf("k%d", i), float64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, compacted, err := st.Compact(); err != nil || !compacted {
+			t.Fatalf("Compact = (%v, %v)", compacted, err)
+		}
+		// Two live-tail records after the compaction.
+		st.Append(okRec("k4", 4))
+		st.Append(okRec("k5", 5))
+		st.Close()
+		want, corrupt, err := ReadRecords(dir)
+		if err != nil || corrupt != 0 || len(want) != 6 {
+			t.Fatalf("fixture ReadRecords = (%d recs, %d corrupt, %v)", len(want), corrupt, err)
+		}
+		return dir, want
+	}
+	check := func(t *testing.T, dir string, want []CellRecord) {
+		t.Helper()
+		recs, corrupt, err := ReadRecords(dir)
+		if err != nil || corrupt != 0 {
+			t.Fatalf("ReadRecords = (%d corrupt, %v)", corrupt, err)
+		}
+		if !reflect.DeepEqual(recs, want) {
+			t.Errorf("records diverged: got %d, want %d", len(recs), len(want))
+		}
+		re, err := Open(dir, testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		if done := re.Completed(); len(done) != 6 {
+			t.Errorf("completed after repair = %v, want 6 cells", done)
+		}
+		// The store must stay appendable and consistent after the repair.
+		if err := re.Append(okRec("k9", 9)); err != nil {
+			t.Fatal(err)
+		}
+		recs, corrupt, err = ReadRecords(dir)
+		if err != nil || corrupt != 0 || len(recs) != len(want)+1 {
+			t.Fatalf("post-repair append: ReadRecords = (%d recs, %d corrupt, %v)", len(recs), corrupt, err)
+		}
+	}
+
+	t.Run("pre-commit: stale staged tail", func(t *testing.T) {
+		dir, want := build(t)
+		// The compaction died after staging results.ndjson.tmp but before
+		// committing segments.json: the stale temp must be swept, the real
+		// tail left alone.
+		if err := os.WriteFile(filepath.Join(dir, ResultsFile+".tmp"), []byte("half-staged"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+		if _, err := os.Stat(filepath.Join(dir, ResultsFile+".tmp")); !os.IsNotExist(err) {
+			t.Error("stale staged tail survived reopening")
+		}
+	})
+
+	t.Run("post-commit: tail swap unfinished", func(t *testing.T) {
+		dir, want := build(t)
+		// The compaction committed segments.json but died before renaming
+		// the staged tail over results.ndjson: the tail still starts with
+		// the frozen segment's bytes. Reconstruct that state by prepending
+		// the segment's uncompressed content back onto the tail.
+		b := NewDirBackend(filepath.Join(dir, SegmentsDir))
+		segs, err := loadSegmentList(b)
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segment list = (%v, %v)", segs, err)
+		}
+		segData, err := readSegment(b, segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ResultsFile), append(segData, tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+		// Reopening finished the swap: the tail holds only post-segment
+		// bytes again (plus the record check appended).
+		fixed, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.HasPrefix(fixed, segData) {
+			t.Error("reopening left the frozen prefix in the tail")
+		}
+	})
+}
+
+// TestMergeStoreFromSegmentedSource: a compacted shard store merges
+// exactly like a flat one — ReadRecords walks segments then tail.
+func TestMergeStoreFromSegmentedSource(t *testing.T) {
+	base := t.TempDir()
+	spec := testSpec()
+	src, err := Create(filepath.Join(base, "src"), "src", spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetOptions(StoreOptions{GzipSegments: true})
+	src.Append(okRec("k1", 1))
+	src.Append(okRec("k2", 2))
+	if _, compacted, err := src.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact = (%v, %v)", compacted, err)
+	}
+	src.Append(okRec("k3", 3))
+	src.Close()
+
+	dst, err := Create(filepath.Join(base, "dst"), "dst", spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	merged, skipped, err := MergeStore(dst, filepath.Join(base, "src"))
+	if err != nil || merged != 3 || skipped != 0 {
+		t.Fatalf("MergeStore = (%d, %d, %v), want all 3 records", merged, skipped, err)
+	}
+	done := dst.Completed()
+	if len(done) != 3 || done["k1"] != 1 || done["k3"] != 3 {
+		t.Errorf("merged completed = %v", done)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"log"
 	"net/http"
@@ -35,8 +34,10 @@ type Manager struct {
 	maxRuns  int
 	seq      uint64
 
-	counters metrics.SweepCounters
-	red      *metrics.RED // per-sweep cell RED series, nil = disabled
+	counters      metrics.SweepCounters
+	storeCounters metrics.StoreCounters // tiered-store metrics, shared by every store
+	storeOpts     StoreOptions          // applied to every store this manager opens
+	red           *metrics.RED          // per-sweep cell RED series, nil = disabled
 }
 
 // NewManager builds a manager persisting sweeps under dir.
@@ -86,8 +87,17 @@ func (m *Manager) SetDistributor(d Distributor) { m.dist = d }
 // serving requests.
 func (m *Manager) SetRED(r *metrics.RED) { m.red = r }
 
-// observeStore hooks a sweep's store into the RED registry.
+// SetStoreOptions sets the durability/compaction tuning applied to
+// every store the manager opens from now on (started, recovered,
+// adopted). Call before serving requests.
+func (m *Manager) SetStoreOptions(o StoreOptions) { m.storeOpts = o }
+
+// observeStore hooks a sweep's store into the manager's observability
+// and applies the configured store options — the single adoption
+// point shared by Start, Recover and Adopt.
 func (m *Manager) observeStore(id string, store *Store) {
+	store.SetOptions(m.storeOpts)
+	store.SetCounters(&m.storeCounters)
 	if m.red == nil {
 		return
 	}
@@ -465,6 +475,11 @@ func (m *Manager) resumeDir(dir string, resume func(Spec, []Cell, *Store, func(P
 	if err != nil {
 		return false, err
 	}
+	// Options and counters attach before resume: a recovered
+	// coordinator can start merging worker uploads immediately, and
+	// those appends must already see the configured durability.
+	store.SetOptions(m.storeOpts)
+	store.SetCounters(&m.storeCounters)
 	ctx, cancel := context.WithCancel(context.Background())
 	run := &Run{
 		spec:    spec,
@@ -594,6 +609,7 @@ func (m *Manager) MetricsSnapshot() map[string]any {
 		"cells_failed": snap.CellsFailed,
 		"active":       active,
 		"tracked":      total,
+		"store":        m.storeCounters.Snapshot(),
 	}
 }
 
@@ -616,6 +632,12 @@ func (m *Manager) WriteProm(p *metrics.PromWriter) {
 	p.Counter("ciao_sweep_cells_failed_total", "Sweep cell failures.", snap.CellsFailed)
 	p.Gauge("ciao_sweeps_active", "Sweeps currently running.", float64(active))
 	p.Gauge("ciao_sweeps_tracked", "Sweep run records retained in memory.", float64(tracked))
+	store := m.storeCounters.Snapshot()
+	p.Counter("ciao_store_compactions_total", "Result-store compaction rewrites.", store.Compactions)
+	p.Counter("ciao_store_segments_written_total", "Immutable result segments written.", store.SegmentsWritten)
+	p.Counter("ciao_store_segment_bytes_total", "Result bytes moved into immutable segments (uncompressed).", store.SegmentBytes)
+	p.Counter("ciao_store_tail_lagged_total", "Result followers cut off for lagging the broadcast.", store.TailLagged)
+	p.Gauge("ciao_store_tail_subscribers", "Live result-stream followers.", float64(store.TailSubscribers))
 	if m.red != nil {
 		m.red.WriteProm(p, "ciao_sweep_cell", "sweep")
 	}
@@ -626,12 +648,23 @@ const maxSpecBytes = 1 << 20
 
 // Handler serves the sweep API:
 //
-//	POST   /sweeps               — start a sweep from a JSON spec (202)
-//	GET    /sweeps               — list sweeps
-//	GET    /sweeps/{id}          — progress (done/total, failures, geomean)
-//	GET    /sweeps/{id}/results  — NDJSON result stream; follows the
-//	                               sweep live unless ?follow=0
-//	DELETE /sweeps/{id}          — cancel; completed cells stay on disk
+//	POST   /sweeps                       — start a sweep from a JSON spec (202)
+//	GET    /sweeps                       — list sweeps
+//	GET    /sweeps/{id}                  — progress (done/total, failures, geomean)
+//	GET    /sweeps/{id}/results          — NDJSON result stream (segments +
+//	                                       live tail spliced); follows the
+//	                                       sweep live unless ?follow=0
+//	POST   /sweeps/{id}/compact          — freeze the tail's settled prefix
+//	                                       into a segment now
+//	GET    /sweeps/{id}/segments         — committed segment blob names (JSON)
+//	GET    /sweeps/{id}/segments/{name}  — one segment blob (or segments.json),
+//	                                       raw — the HTTP Backend a peer
+//	                                       mirrors from
+//	GET    /sweeps/{id}/store/{file}     — manifest | tail | journal, raw —
+//	                                       the rest of a sweep directory, for
+//	                                       peers mirroring without a shared
+//	                                       filesystem
+//	DELETE /sweeps/{id}                  — cancel; completed cells stay on disk
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -670,6 +703,98 @@ func (m *Manager) Handler() http.Handler {
 		m.streamResults(w, r, run)
 	})
 
+	mux.HandleFunc("POST /sweeps/{id}/compact", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		seg, compacted, err := run.store.Compact()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp := struct {
+			Compacted bool         `json:"compacted"`
+			Segment   *SegmentInfo `json:"segment,omitempty"`
+		}{Compacted: compacted}
+		if compacted {
+			resp.Segment = &seg
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/segments", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		names, err := run.store.Backend().List()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/segments/{name}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		// The backend re-validates the name (no separators, no
+		// dotfiles); a bad one reads as not-found, not as a file probe.
+		data, err := run.store.Backend().Get(r.PathValue("name"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: no segment %q", r.PathValue("name")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("GET /sweeps/{id}/store/{file}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown sweep %q", r.PathValue("id")))
+			return
+		}
+		var (
+			data []byte
+			err  error
+			ctyp = "application/x-ndjson"
+		)
+		switch r.PathValue("file") {
+		case "manifest":
+			data, err = os.ReadFile(filepath.Join(run.store.Dir(), ManifestFile))
+			ctyp = "application/json"
+		case "tail":
+			// Read under the store lock so a concurrent compaction cannot
+			// swap the file mid-read.
+			data, err = run.store.ReadTail()
+		case "journal":
+			data, err = os.ReadFile(run.store.CoordJournalPath())
+		default:
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: unknown store file %q", r.PathValue("file")))
+			return
+		}
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("sweep: no %s for sweep %q", r.PathValue("file"), run.id))
+			return
+		}
+		w.Header().Set("Content-Type", ctyp)
+		w.Write(data)
+	})
+
 	mux.HandleFunc("DELETE /sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		run, ok := m.Cancel(r.PathValue("id"))
 		if !ok {
@@ -687,39 +812,66 @@ func (m *Manager) Handler() http.Handler {
 	return mux
 }
 
-// streamResults copies the store's NDJSON file to the client and, by
-// default, keeps following it until the sweep reaches a terminal
-// state (tail -f semantics). ?follow=0 returns the current snapshot.
+// streamResults writes the store's logical result stream (committed
+// segments spliced with the live tail) to the client and, by default,
+// keeps following it until the sweep's store closes (tail -f
+// semantics, ending in a clean EOF instead of an idle hang). ?follow=0
+// returns the current snapshot.
+//
+// Followers ride the store's broadcast hub: one subscription per
+// client, fed from the single in-memory append path, so N watchers do
+// not cost N disk pollers. Disk is read only to catch a subscriber up
+// — on first attach, or after it lagged the broadcast and was cut off.
+// Byte offsets into the logical stream survive compaction, so a
+// resync never re-sends or skips a record. Client disconnects are
+// noticed via the request context, not the next append.
 func (m *Manager) streamResults(w http.ResponseWriter, r *http.Request, run *Run) {
-	f, err := os.Open(run.store.ResultsPath())
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	defer f.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	follow := r.URL.Query().Get("follow") != "0"
 	flusher, _ := w.(http.Flusher)
-	for {
-		n, err := io.Copy(w, f)
-		if err != nil {
-			return // client went away
-		}
-		if n > 0 && flusher != nil {
+	flush := func() {
+		if flusher != nil {
 			flusher.Flush()
 		}
-		if !follow {
-			return
+	}
+	if r.URL.Query().Get("follow") == "0" {
+		run.store.CopyRange(w, 0, run.store.LogicalSize())
+		return
+	}
+	ctx := r.Context()
+	var sent int64
+	for {
+		off, ch, cancel := run.store.Subscribe()
+		if off > sent {
+			if err := run.store.CopyRange(w, sent, off); err != nil {
+				cancel()
+				return // client went away (or the store is gone)
+			}
+			sent = off
+			flush()
 		}
-		select {
-		case <-run.Done():
-			// Final drain: appends stopped before done closed.
-			io.Copy(w, f)
-			return
-		case <-r.Context().Done():
-			return
-		case <-time.After(150 * time.Millisecond):
+		if ch == nil {
+			return // store closed: the stream is complete — clean EOF
 		}
+	consume:
+		for {
+			select {
+			case line, ok := <-ch:
+				if !ok {
+					// Lagged or closing: resubscribe and resync from sent.
+					break consume
+				}
+				if _, err := w.Write(line); err != nil {
+					cancel()
+					return
+				}
+				sent += int64(len(line))
+				flush()
+			case <-ctx.Done():
+				cancel()
+				return
+			}
+		}
+		cancel()
 	}
 }
 

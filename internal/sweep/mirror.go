@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// MirrorMarkerFile marks a sweep directory as a warm-standby copy
+// fetched from a federation peer, not a sweep this server ran. The
+// marker is the safety interlock of mirroring into a *separate*
+// -sweepdir: a directory without it is either this server's own sweep
+// or a shared-filesystem deployment, and MirrorFrom refuses to write
+// into it.
+const MirrorMarkerFile = "mirror.json"
+
+// mirrorMarker is the marker file's contents — enough provenance to
+// debug a standby directory by hand.
+type mirrorMarker struct {
+	Peer    string    `json:"peer"`
+	Sweep   string    `json:"sweep"`
+	Updated time.Time `json:"updated"`
+}
+
+// MirrorFrom pulls a warm-standby copy of every unfinished distributed
+// sweep the peer is serving into this manager's own sweep directory,
+// over plain HTTP: segment blobs through the peer's Backend endpoints,
+// then the manifest, live tail and coordinator journal through
+// /sweeps/{id}/store. It is how two servers with *separate* -sweepdirs
+// federate — when the peer dies, the ordinary adoption path replays
+// the mirrored journal exactly as it would a shared directory, and
+// any records appended on the peer after the last mirror round simply
+// re-run (coordinator recovery treats missing records as incomplete
+// cells, so a stale mirror costs work, never correctness).
+//
+// Per round and per sweep the fetch order is tail, segments, journal:
+// the journal lands last, so it never claims shard completions whose
+// records the round missed in a way recovery cannot repair, and a
+// compaction racing the round at worst duplicates the frozen prefix —
+// which the store's interrupted-compaction repair already removes on
+// open. Sweeps running locally (our own, or already adopted) and
+// directories we did not create are skipped.
+//
+// It reports how many sweeps were synced this round; per-sweep
+// failures are joined into err but do not stop the round.
+func (m *Manager) MirrorFrom(peer string) (synced int, err error) {
+	peer = strings.TrimRight(peer, "/")
+	client := &http.Client{Timeout: 15 * time.Second}
+	body, err := fetchBytes(client, peer+"/sweeps", 1<<22)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: mirror: list %s: %w", peer, err)
+	}
+	var sweeps []Status
+	if err := json.Unmarshal(body, &sweeps); err != nil {
+		return 0, fmt.Errorf("sweep: mirror: list %s: %w", peer, err)
+	}
+	var errs []error
+	for _, st := range sweeps {
+		if !st.Distributed || st.State != StateRunning {
+			continue
+		}
+		ok, merr := m.mirrorSweep(client, peer, st.ID)
+		if merr != nil {
+			errs = append(errs, fmt.Errorf("sweep %s: %w", st.ID, merr))
+			continue
+		}
+		if ok {
+			synced++
+		}
+	}
+	return synced, errors.Join(errs...)
+}
+
+// mirrorSweep refreshes the local standby copy of one remote sweep.
+// It reports false (no error) when the sweep must not be mirrored
+// here: its spec is active locally, or its directory exists without
+// our marker.
+func (m *Manager) mirrorSweep(client *http.Client, peer, id string) (bool, error) {
+	base := peer + "/sweeps/" + id
+	manB, err := fetchBytes(client, base+"/store/manifest", maxSpecBytes)
+	if err != nil {
+		return false, fmt.Errorf("manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manB, &man); err != nil {
+		return false, fmt.Errorf("manifest: %w", err)
+	}
+	if len(man.SpecKey) < 16 {
+		return false, fmt.Errorf("manifest: malformed spec key %q", man.SpecKey)
+	}
+
+	m.mu.Lock()
+	_, active := m.active[man.SpecKey]
+	_, starting := m.starting[man.SpecKey]
+	m.mu.Unlock()
+	if active || starting {
+		return false, nil // we are running this sweep — nothing to mirror
+	}
+
+	dir := filepath.Join(m.dir, "sweep-"+man.SpecKey[:16])
+	marker := filepath.Join(dir, MirrorMarkerFile)
+	if _, err := os.Stat(dir); err == nil {
+		if _, merr := os.Stat(marker); merr != nil {
+			// The directory exists but we never marked it: a shared
+			// -sweepdir (the peer's own files are right there) or a local
+			// sweep. Either way it is not ours to overwrite.
+			return false, nil
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, err
+	}
+	mk, err := json.Marshal(mirrorMarker{Peer: peer, Sweep: id, Updated: time.Now().UTC()})
+	if err != nil {
+		return false, err
+	}
+	if err := writeFileSync(marker, append(mk, '\n')); err != nil {
+		return false, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); errors.Is(err, fs.ErrNotExist) {
+		if err := writeFileSync(filepath.Join(dir, ManifestFile), manB); err != nil {
+			return false, err
+		}
+	}
+
+	// Tail before segments before journal — see MirrorFrom.
+	tailB, err := fetchBytes(client, base+"/store/tail", maxSegmentBytes)
+	if err != nil {
+		return false, fmt.Errorf("tail: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, ResultsFile), tailB); err != nil {
+		return false, err
+	}
+
+	remote := NewHTTPBackend(base+"/segments", client)
+	local := NewDirBackend(filepath.Join(dir, SegmentsDir))
+	if err := mirrorSegments(remote, local); err != nil {
+		return false, fmt.Errorf("segments: %w", err)
+	}
+
+	jB, err := fetchBytes(client, base+"/store/journal", maxSegmentBytes)
+	if err != nil {
+		if errors.Is(err, errNotFound) {
+			return true, nil // the coordinator has not journaled yet
+		}
+		return false, fmt.Errorf("journal: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, CoordJournalFile), jB); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// mirrorSegments copies the remote's committed segment list and every
+// blob it names that is missing locally. The local segments.json is
+// replaced only after all its blobs are present, so a local open never
+// sees a list naming blobs that are not there; committed blobs are
+// immutable, so an existing local copy is never re-fetched.
+func mirrorSegments(remote, local Backend) error {
+	listB, err := remote.Get(SegmentsFile)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // the remote store was never compacted
+	}
+	if err != nil {
+		return err
+	}
+	var l segmentList
+	if err := json.Unmarshal(listB, &l); err != nil {
+		return fmt.Errorf("corrupt remote segment list: %w", err)
+	}
+	for _, seg := range l.Segments {
+		if _, err := local.Get(seg.Name); err == nil {
+			continue
+		}
+		blob, err := remote.Get(seg.Name)
+		if err != nil {
+			return fmt.Errorf("fetch %s: %w", seg.Name, err)
+		}
+		if err := local.Put(seg.Name, blob); err != nil {
+			return err
+		}
+	}
+	return local.Put(SegmentsFile, listB)
+}
+
+// errNotFound marks a 404 from fetchBytes so callers can treat
+// missing-but-expected files (an unwritten journal) as benign.
+var errNotFound = errors.New("not found")
+
+// fetchBytes GETs a URL whole, bounding the body.
+func fetchBytes(client *http.Client, url string, limit int64) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%s: %w", url, errNotFound)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: unexpected status %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("%s: body exceeds %d bytes", url, limit)
+	}
+	return data, nil
+}

@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// stubDist is a Distributor that never executes cells: it hands the
+// test the store so it can script exactly what a coordinator would
+// have appended, while the sweep stays "running" until cancelled.
+type stubDist struct {
+	mu    sync.Mutex
+	store *Store
+	run   *stubRun
+}
+
+func (d *stubDist) Distribute(id string, spec Spec, cells []Cell, store *Store, onProgress func(Progress)) (DistributedRun, error) {
+	r := &stubRun{total: len(cells), done: make(chan struct{})}
+	d.mu.Lock()
+	d.store, d.run = store, r
+	d.mu.Unlock()
+	return r, nil
+}
+
+func (d *stubDist) snapshot() (*Store, *stubRun) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store, d.run
+}
+
+type stubRun struct {
+	total int
+	once  sync.Once
+	done  chan struct{}
+}
+
+func (r *stubRun) Done() <-chan struct{} { return r.done }
+func (r *stubRun) Progress() Progress    { return Progress{State: StateRunning, Total: r.total} }
+func (r *stubRun) Cancel()               { r.once.Do(func() { close(r.done) }) }
+
+// TestMirrorFromCopiesPeerSweep drives warm-standby mirroring between
+// two managers with *separate* sweep directories: segments arrive via
+// the HTTP backend, the tail and journal via the store endpoints, a
+// second round fetches only the blobs it does not already hold, and
+// the mirrored directory reads record-for-record identical to the
+// original.
+func TestMirrorFromCopiesPeerSweep(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	mgrA := NewManager(fakeEngine(0), dirA, 0)
+	dist := &stubDist{}
+	mgrA.SetDistributor(dist)
+
+	spec, _ := eightCells(t)
+	spec.Distributed = true
+	runA, err := mgrA.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "distributed run to launch", func() bool { s, _ := dist.snapshot(); return s != nil })
+	store, stub := dist.snapshot()
+	defer func() {
+		stub.Cancel()
+		<-runA.Done()
+	}()
+
+	// Script the owner's state: two settled records frozen into a
+	// segment, a failed-then-ok pair in the live tail, and a journal.
+	store.Append(okRec("k1", 1))
+	store.Append(okRec("k2", 2))
+	if _, ok, err := store.Compact(); err != nil || !ok {
+		t.Fatalf("Compact = (%v, %v)", ok, err)
+	}
+	store.Append(CellRecord{Key: "k3", Status: StatusFailed, Error: "boom"})
+	store.Append(okRec("k3", 3))
+	journal := []byte(`{"t":"snapshot","sweep":"` + runA.ID() + `","owner":"http://a:1","shards":[]}` + "\n")
+	if err := os.WriteFile(store.CoordJournalPath(), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve A behind a request counter, so round 2 can prove segments
+	// are fetched at most once.
+	var (
+		cmu  sync.Mutex
+		gets = map[string]int{}
+	)
+	h := mgrA.Handler()
+	srvA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cmu.Lock()
+		gets[r.URL.Path]++
+		cmu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	defer srvA.Close()
+
+	mgrB := NewManager(fakeEngine(0), dirB, 0)
+	synced, err := mgrB.MirrorFrom(srvA.URL)
+	if synced != 1 || err != nil {
+		t.Fatalf("MirrorFrom = (%d, %v), want 1 synced sweep", synced, err)
+	}
+
+	mirrorDir := filepath.Join(dirB, "sweep-"+spec.Key()[:16])
+	if _, err := os.Stat(filepath.Join(mirrorDir, MirrorMarkerFile)); err != nil {
+		t.Fatalf("mirror marker missing: %v", err)
+	}
+	wantRecs, wantCorrupt, err := ReadRecords(store.Dir())
+	if err != nil || wantCorrupt != 0 {
+		t.Fatal(err)
+	}
+	gotRecs, gotCorrupt, err := ReadRecords(mirrorDir)
+	if err != nil || gotCorrupt != 0 {
+		t.Fatalf("ReadRecords(mirror) = (%d corrupt, %v)", gotCorrupt, err)
+	}
+	if !reflect.DeepEqual(gotRecs, wantRecs) {
+		t.Fatalf("mirrored records diverge: got %d, want %d", len(gotRecs), len(wantRecs))
+	}
+	if gotJ, err := os.ReadFile(filepath.Join(mirrorDir, CoordJournalFile)); err != nil || !bytes.Equal(gotJ, journal) {
+		t.Fatalf("mirrored journal = (%q, %v)", gotJ, err)
+	}
+	manA, _ := os.ReadFile(filepath.Join(store.Dir(), ManifestFile))
+	manB, err := os.ReadFile(filepath.Join(mirrorDir, ManifestFile))
+	if err != nil || !bytes.Equal(manA, manB) {
+		t.Fatalf("mirrored manifest diverges (%v)", err)
+	}
+
+	// Round 2: more progress on the owner, a second segment. The mirror
+	// must catch up without re-fetching the blob it already holds.
+	segPath := "/sweeps/" + runA.ID() + "/segments/" + segmentName(1, false)
+	cmu.Lock()
+	if gets[segPath] != 1 {
+		t.Fatalf("round 1 fetched %s %d times, want 1", segPath, gets[segPath])
+	}
+	cmu.Unlock()
+	store.Append(okRec("k4", 4))
+	if _, ok, err := store.Compact(); err != nil || !ok {
+		t.Fatalf("second Compact = (%v, %v)", ok, err)
+	}
+	if synced, err := mgrB.MirrorFrom(srvA.URL); synced != 1 || err != nil {
+		t.Fatalf("second MirrorFrom = (%d, %v)", synced, err)
+	}
+	cmu.Lock()
+	if gets[segPath] != 1 {
+		t.Errorf("round 2 re-fetched the immutable blob %s", segPath)
+	}
+	cmu.Unlock()
+	gotRecs, _, err = ReadRecords(mirrorDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, _, _ = ReadRecords(store.Dir())
+	if !reflect.DeepEqual(gotRecs, wantRecs) {
+		t.Fatalf("round 2 mirror diverges: got %d records, want %d", len(gotRecs), len(wantRecs))
+	}
+
+	// The mirrored store opens cleanly — exactly what adoption will do.
+	mst, err := OpenAny(mirrorDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := mst.Completed(); len(done) != 4 {
+		t.Errorf("mirrored store completed = %v, want 4 cells", done)
+	}
+	mst.Close()
+}
+
+// TestMirrorFromRefusesForeignDirectories pins the shared-sweepdir
+// interlock: a directory that exists without our mirror marker is
+// either this server's own sweep or the peer's files on a shared
+// filesystem — both fatal to overwrite.
+func TestMirrorFromRefusesForeignDirectories(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	mgrA := NewManager(fakeEngine(0), dirA, 0)
+	dist := &stubDist{}
+	mgrA.SetDistributor(dist)
+	spec, _ := eightCells(t)
+	spec.Distributed = true
+	runA, err := mgrA.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "distributed run to launch", func() bool { s, _ := dist.snapshot(); return s != nil })
+	store, stub := dist.snapshot()
+	defer func() {
+		stub.Cancel()
+		<-runA.Done()
+	}()
+	store.Append(okRec("k1", 1))
+
+	srvA := httptest.NewServer(mgrA.Handler())
+	defer srvA.Close()
+
+	// The target directory pre-exists without a marker (a local sweep,
+	// or a shared -sweepdir where the peer's own files live).
+	mirrorDir := filepath.Join(dirB, "sweep-"+spec.Key()[:16])
+	if err := os.MkdirAll(mirrorDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := filepath.Join(mirrorDir, ResultsFile)
+	if err := os.WriteFile(sentinel, []byte("precious local data\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mgrB := NewManager(fakeEngine(0), dirB, 0)
+	if synced, err := mgrB.MirrorFrom(srvA.URL); synced != 0 || err != nil {
+		t.Fatalf("MirrorFrom over a foreign dir = (%d, %v), want a skip", synced, err)
+	}
+	if got, _ := os.ReadFile(sentinel); string(got) != "precious local data\n" {
+		t.Fatalf("mirror overwrote a directory it does not own: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(mirrorDir, MirrorMarkerFile)); !os.IsNotExist(err) {
+		t.Error("mirror planted its marker in a foreign directory")
+	}
+
+	// A spec actively running on this server is skipped too — nothing
+	// to mirror when we are the ones executing it.
+	mgrC := NewManager(fakeEngine(0), t.TempDir(), 0)
+	mgrC.mu.Lock()
+	mgrC.active[spec.Key()] = &Run{}
+	mgrC.mu.Unlock()
+	if synced, err := mgrC.MirrorFrom(srvA.URL); synced != 0 || err != nil {
+		t.Fatalf("MirrorFrom with the spec active locally = (%d, %v), want a skip", synced, err)
+	}
+}

@@ -7,11 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Store file names inside a sweep directory.
@@ -58,20 +61,50 @@ type CellRecord struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// Store is the append-only on-disk result set of one sweep. Appends
-// are serialised and each record is a single write of one complete
-// line, so a killed process can lose at most the line being written —
-// Open tolerates (and discards) a truncated tail.
+// StoreOptions tune the tiered store's durability and compaction.
+// The zero value matches the historical behaviour: no fsync per
+// append, compaction only on demand, uncompressed segments.
+type StoreOptions struct {
+	// SyncAppend fsyncs the results file after every append. Off, a
+	// kill loses at most the OS page cache's unflushed lines (their
+	// cells simply re-run on resume); on, a settled record survives
+	// power loss at the cost of one fsync per cell.
+	SyncAppend bool
+	// CompactAfter triggers an automatic compaction from inside Append
+	// once the live tail holds at least this many records (0 = manual
+	// Compact() only).
+	CompactAfter int
+	// GzipSegments compresses newly written segments.
+	GzipSegments bool
+}
+
+// Store is the tiered, append-only on-disk result set of one sweep:
+// an ordered list of immutable (optionally gzip'd) segment blobs plus
+// a live NDJSON tail, which read as one logical byte stream. Appends
+// go to the tail, serialised, each record a single write of one
+// complete line, so a killed process can lose at most the line being
+// written — Open tolerates (and repairs) a truncated tail. Compaction
+// freezes the tail's settled prefix into a new segment; logical byte
+// offsets into the stream survive it, which is what lets live
+// followers resync after a lag without re-reading from zero.
 type Store struct {
 	dir      string
 	manifest Manifest
+	backend  Backend // segment blobs + segments.json, under dir/segments
 
 	mu       sync.Mutex
 	f        *os.File
+	segs     []SegmentInfo
+	segBytes int64               // sum of segment extents: the tail's base logical offset
+	tailLen  int64               // bytes currently in the live tail file
+	tailRecs int                 // parseable records currently in the live tail
 	done     map[string]float64  // key → IPC of the last "ok" record
 	failed   map[string]struct{} // keys with failures and no success yet
 	corrupt  int                 // complete-but-unparseable lines seen by load
 	observer func(CellRecord)    // sees each appended record (metrics)
+	opts     StoreOptions
+	counters *metrics.StoreCounters
+	subs     map[*tailSub]struct{} // live followers of the tail broadcast
 }
 
 // Sink receives cell records as a sweep executes. *Store is the
@@ -167,41 +200,126 @@ func readManifest(dir string) (Manifest, error) {
 }
 
 func openResults(dir string, m Manifest) (*Store, error) {
-	s := &Store{dir: dir, manifest: m, done: map[string]float64{}, failed: map[string]struct{}{}}
-	rpath := filepath.Join(dir, ResultsFile)
-	if err := s.load(rpath); err != nil {
+	s := &Store{
+		dir:      dir,
+		manifest: m,
+		backend:  NewDirBackend(filepath.Join(dir, SegmentsDir)),
+		done:     map[string]float64{},
+		failed:   map[string]struct{}{},
+	}
+	if err := s.load(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(rpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(s.tailPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: open results: %w", err)
 	}
 	s.f = f
 	if s.corrupt > 0 {
-		log.Printf("sweep: %s: ignored %d corrupt result line(s); their cells count as incomplete and will re-run", rpath, s.corrupt)
+		log.Printf("sweep: %s: ignored %d corrupt result line(s); their cells count as incomplete and will re-run", s.tailPath(), s.corrupt)
 	}
 	return s, nil
 }
 
-// load replays the results file into the completed-cell set. Exactly
-// one malformation is expected in a healthy store — a torn,
-// newline-less final line from a process killed mid-append — and that
-// tail is dropped silently (its cell simply re-runs). Any other
+// tailPath is where the live (not yet compacted) results tail lives.
+func (s *Store) tailPath() string { return filepath.Join(s.dir, ResultsFile) }
+
+// load replays the committed segments and then the live tail into the
+// completed-cell set, repairing the two states a kill mid-compaction
+// can leave behind (see Compact for the write protocol):
+//
+//   - a stale results.ndjson.tmp (the compaction died before its
+//     commit point) is deleted — the tail is still whole;
+//   - a tail still carrying the last committed segment's bytes as its
+//     prefix (the compaction committed segments.json but died before
+//     swapping the tail in) gets the swap finished now.
+//
+// A torn final tail line — a kill mid-append — is truncated away from
+// the file itself, not just skipped by the parse: the next append
+// would otherwise fuse with the fragment into one corrupt line, and
+// follower byte offsets must agree with the bytes on disk. Any other
 // unparseable line is mid-file corruption: it is counted (and logged
 // by openResults) instead of being mistaken for cells to re-run.
-func (s *Store) load(path string) error {
-	recs, corrupt, err := readRecords(path)
+func (s *Store) load() error {
+	segs, err := loadSegmentList(s.backend)
 	if err != nil {
 		return err
 	}
-	s.corrupt = corrupt
+	var lastSeg []byte
+	for i, seg := range segs {
+		data, err := readSegment(s.backend, seg)
+		if err != nil {
+			return err
+		}
+		recs, corrupt := recordsFromBytes(data)
+		s.corrupt += corrupt
+		for _, rec := range recs {
+			s.record(rec)
+		}
+		s.segBytes += seg.Bytes
+		if i == len(segs)-1 {
+			lastSeg = data
+		}
+	}
+	s.segs = segs
+
+	os.Remove(s.tailPath() + ".tmp")
+	tail, err := os.ReadFile(s.tailPath())
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("sweep: read results tail: %w", err)
+	}
+	if len(lastSeg) > 0 && bytes.HasPrefix(tail, lastSeg) {
+		tail = tail[len(lastSeg):]
+		if err := writeFileSync(s.tailPath(), tail); err != nil {
+			return fmt.Errorf("sweep: finish interrupted compaction: %w", err)
+		}
+	}
+	if n := completeLen(tail); n < len(tail) {
+		tail = tail[:n]
+		if err := os.Truncate(s.tailPath(), int64(n)); err != nil {
+			return fmt.Errorf("sweep: drop torn results tail: %w", err)
+		}
+	}
+	recs, corrupt := recordsFromBytes(tail)
+	s.corrupt += corrupt
 	for _, rec := range recs {
-		// Only successes complete a cell; failed-only cells re-run on
-		// resume (and are tracked so coordinator recovery can restore
-		// its failure counts without re-parsing the file).
 		s.record(rec)
 	}
+	s.tailLen = int64(len(tail))
+	s.tailRecs = len(recs)
 	return nil
+}
+
+// completeLen returns the length of data up to and including its last
+// newline — the complete-line prefix a torn append leaves intact.
+func completeLen(data []byte) int {
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// writeFileSync atomically replaces path with data: temp file in the
+// same directory, fsync, rename — the journal-rewrite discipline.
+func writeFileSync(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".sync*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // record folds one record into the completed/failed cell sets.
@@ -237,7 +355,13 @@ func ScanNDJSON(path string, maxLine int, use func(line []byte, torn bool) bool)
 		return 0, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, maxLine)
+	return scanNDJSON(f, maxLine, use)
+}
+
+// scanNDJSON is ScanNDJSON over any reader — segment blobs read it
+// from memory, files from disk, with identical torn-tail semantics.
+func scanNDJSON(rd io.Reader, maxLine int, use func(line []byte, torn bool) bool) (corrupt int, err error) {
+	r := bufio.NewReaderSize(rd, maxLine)
 	for {
 		line, rerr := r.ReadSlice('\n')
 		if rerr == bufio.ErrBufferFull {
@@ -269,30 +393,67 @@ func ScanNDJSON(path string, maxLine int, use func(line []byte, torn bool) bool)
 	}
 }
 
-// readRecords parses an NDJSON results file, returning the well-formed
-// records in file order plus the count of corrupt lines. A torn final
-// line is tolerated and not counted; complete lines that fail to
-// parse, parse without a cell key, or exceed maxLineBytes are corrupt.
-func readRecords(path string) (recs []CellRecord, corrupt int, err error) {
-	corrupt, err = ScanNDJSON(path, maxLineBytes, func(line []byte, torn bool) bool {
+// useRecord builds the ScanNDJSON callback that collects well-formed
+// CellRecords: complete lines that fail to parse or parse without a
+// cell key are corrupt.
+func useRecord(recs *[]CellRecord) func(line []byte, torn bool) bool {
+	return func(line []byte, torn bool) bool {
 		var rec CellRecord
 		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
 			return false
 		}
-		recs = append(recs, rec)
+		*recs = append(*recs, rec)
 		return true
-	})
-	if os.IsNotExist(err) {
-		return nil, 0, nil
 	}
-	return recs, corrupt, err
 }
 
-// ReadRecords loads every well-formed record from a store directory in
-// file order, tolerating a torn final line. Corrupt mid-file lines are
-// counted, not fatal.
+// recordsFromBytes parses NDJSON result lines held in memory (a
+// segment blob, a loaded tail), tolerating a torn final line.
+func recordsFromBytes(data []byte) (recs []CellRecord, corrupt int) {
+	corrupt, _ = scanNDJSON(bytes.NewReader(data), maxLineBytes, useRecord(&recs))
+	return recs, corrupt
+}
+
+// ReadRecords loads every well-formed record from a store directory —
+// committed segments first, then the live tail, i.e. logical stream
+// order — tolerating a torn final tail line. Corrupt mid-file lines
+// are counted, not fatal. It is a read-only scan: an interrupted
+// compaction (segment committed, tail swap unfinished) is skipped
+// over, not repaired — reopening the store repairs it.
 func ReadRecords(dir string) (recs []CellRecord, corrupt int, err error) {
-	return readRecords(filepath.Join(dir, ResultsFile))
+	return readStoreRecords(dir, NewDirBackend(filepath.Join(dir, SegmentsDir)))
+}
+
+func readStoreRecords(dir string, b Backend) (recs []CellRecord, corrupt int, err error) {
+	segs, err := loadSegmentList(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	var lastSeg []byte
+	for i, seg := range segs {
+		data, err := readSegment(b, seg)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, c := recordsFromBytes(data)
+		recs = append(recs, r...)
+		corrupt += c
+		if i == len(segs)-1 {
+			lastSeg = data
+		}
+	}
+	tail, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return recs, corrupt, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(lastSeg) > 0 && bytes.HasPrefix(tail, lastSeg) {
+		tail = tail[len(lastSeg):] // unfinished tail swap: don't read the frozen prefix twice
+	}
+	r, c := recordsFromBytes(tail)
+	return append(recs, r...), corrupt + c, nil
 }
 
 // Record statuses.
@@ -311,8 +472,26 @@ func (s *Store) SetObserver(fn func(CellRecord)) {
 	s.observer = fn
 }
 
-// Append writes one record as a single NDJSON line and updates the
-// completed set.
+// SetOptions applies durability/compaction tuning. Call before the
+// store sees concurrent appends (right after Create/Open).
+func (s *Store) SetOptions(o StoreOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts = o
+}
+
+// SetCounters points the store at a process-wide metrics block (shared
+// across sweeps). Pass before serving; nil detaches.
+func (s *Store) SetCounters(c *metrics.StoreCounters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = c
+}
+
+// Append writes one record as a single NDJSON line to the live tail,
+// updates the completed set, and fans the line out to tail
+// subscribers. With SyncAppend set the line is fsync'd before Append
+// returns.
 func (s *Store) Append(rec CellRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -320,9 +499,26 @@ func (s *Store) Append(rec CellRecord) error {
 	}
 	line = append(line, '\n')
 	s.mu.Lock()
+	if s.f == nil {
+		s.mu.Unlock()
+		return errors.New("sweep: append to a closed store")
+	}
 	_, werr := s.f.Write(line)
+	if werr == nil && s.opts.SyncAppend {
+		werr = s.f.Sync()
+	}
 	if werr == nil {
 		s.record(rec)
+		s.tailLen += int64(len(line))
+		s.tailRecs++
+		s.publishLocked(line)
+		if s.opts.CompactAfter > 0 && s.tailRecs >= s.opts.CompactAfter {
+			if _, _, cerr := s.compactLocked(); cerr != nil {
+				// Compaction is an optimisation: a failure leaves the tail
+				// longer, never the records worse off.
+				log.Printf("sweep: %s: auto-compaction: %v", s.dir, cerr)
+			}
+		}
 	}
 	obs := s.observer
 	s.mu.Unlock()
@@ -366,7 +562,8 @@ func (s *Store) Merge(recs []CellRecord) (merged, skipped int, err error) {
 // MergeStore merges every record of the store at srcDir into dst —
 // how separate hand-sharded stores collapse into one canonical store.
 // The source manifest must pin the same spec as dst, upholding the
-// cannot-mix-sweeps invariant across merges.
+// cannot-mix-sweeps invariant across merges. Segmented sources read
+// exactly like flat ones: ReadRecords walks segments then tail.
 func MergeStore(dst *Store, srcDir string) (merged, skipped int, err error) {
 	srcM, err := readManifest(srcDir)
 	if err != nil {
@@ -425,17 +622,48 @@ func (s *Store) Manifest() Manifest { return s.manifest }
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// ResultsPath returns the NDJSON file path (for streaming readers).
+// ResultsPath returns the live tail's NDJSON file path. Readers that
+// want the whole result set must not read just this file any more —
+// use ReadRecords or CopyRange, which splice segments and tail back
+// into one stream.
 func (s *Store) ResultsPath() string { return filepath.Join(s.dir, ResultsFile) }
 
 // CoordJournalPath returns where the distributed coordinator journals
 // its shard lease table for this sweep.
 func (s *Store) CoordJournalPath() string { return filepath.Join(s.dir, CoordJournalFile) }
 
-// Close releases the results file.
+// Backend exposes the store's segment blob backend (read-only use:
+// the HTTP segment endpoints list and serve blobs through it).
+func (s *Store) Backend() Backend { return s.backend }
+
+// Segments snapshots the committed segment list.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SegmentInfo(nil), s.segs...)
+}
+
+// ReadTail returns the live tail's current bytes, consistent under
+// the store lock (a compaction cannot swap the file mid-read).
+func (s *Store) ReadTail() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.tailPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Close releases the results file and closes every tail subscription
+// (followers drain what the broadcast already handed them, then see
+// end-of-stream).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for sub := range s.subs {
+		s.dropSubLocked(sub)
+	}
 	if s.f == nil {
 		return nil
 	}

@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// tailSubBuffer is each subscriber's line buffer. A follower that
+// falls this many appends behind the broadcast is cut off and resyncs
+// from its byte offset instead of backpressuring every other watcher
+// (a var so tests can force the lag path cheaply).
+var tailSubBuffer = 256
+
+// tailSub is one live follower of the store's append broadcast.
+type tailSub struct {
+	ch   chan []byte
+	once sync.Once
+}
+
+// Subscribe registers a follower of the result stream and returns the
+// stream's current logical size, the channel future appended lines
+// arrive on, and a cancel function (idempotent; always call it). The
+// contract that makes N watchers cost one disk reader:
+//
+//   - replay [yourOffset, offset) via CopyRange, then consume ch;
+//   - a closed ch means "resync": the subscription lagged the
+//     broadcast or the store closed — call Subscribe again from the
+//     byte offset you have counted, which stays valid across
+//     compactions because they preserve logical offsets;
+//   - ch == nil (with no error) means the store is closed: no line
+//     will ever arrive again, so after replaying to offset the stream
+//     is complete.
+func (s *Store) Subscribe() (offset int64, ch <-chan []byte, cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	offset = s.segBytes + s.tailLen
+	if s.f == nil {
+		return offset, nil, func() {}
+	}
+	sub := &tailSub{ch: make(chan []byte, tailSubBuffer)}
+	if s.subs == nil {
+		s.subs = map[*tailSub]struct{}{}
+	}
+	s.subs[sub] = struct{}{}
+	if s.counters != nil {
+		s.counters.TailSubscribers.Inc()
+	}
+	return offset, sub.ch, func() {
+		s.mu.Lock()
+		s.dropSubLocked(sub)
+		s.mu.Unlock()
+	}
+}
+
+// publishLocked fans one appended line out to every subscriber. A
+// subscriber whose buffer is full is dropped (its channel closed) —
+// it resyncs from disk rather than slowing the append path or the
+// other watchers. Callers hold s.mu.
+func (s *Store) publishLocked(line []byte) {
+	for sub := range s.subs {
+		select {
+		case sub.ch <- line:
+		default:
+			s.dropSubLocked(sub)
+			if s.counters != nil {
+				s.counters.TailLagged.Inc()
+			}
+		}
+	}
+}
+
+// dropSubLocked unregisters a subscriber and closes its channel
+// exactly once. Callers hold s.mu.
+func (s *Store) dropSubLocked(sub *tailSub) {
+	if _, ok := s.subs[sub]; !ok {
+		return
+	}
+	delete(s.subs, sub)
+	sub.once.Do(func() { close(sub.ch) })
+	if s.counters != nil {
+		s.counters.TailSubscribers.Dec()
+	}
+}
+
+// TailSubscribers reports the number of live tail followers.
+func (s *Store) TailSubscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// LogicalSize is the result stream's current extent in bytes:
+// committed segments plus the live tail. Offsets into the stream
+// survive compaction.
+func (s *Store) LogicalSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.segBytes + s.tailLen
+}
+
+// copyPart is one CopyRange read planned under the lock: a slice of a
+// segment, executed lock-free afterwards because segments are
+// immutable.
+type copyPart struct {
+	seg      SegmentInfo
+	from, to int64 // relative to the segment
+}
+
+// CopyRange writes logical stream bytes [from, to) to w, splicing
+// committed segments (decompressed) and the live tail back into the
+// original byte order. The plan — which segments overlap, plus the
+// tail portion — is taken under the store lock so a concurrent
+// compaction cannot tear it; segment reads then run unlocked since
+// blobs never change once committed. Works on a closed store (the
+// files remain).
+func (s *Store) CopyRange(w io.Writer, from, to int64) error {
+	if from < 0 || from > to {
+		return fmt.Errorf("sweep: bad copy range [%d, %d)", from, to)
+	}
+	if from == to {
+		return nil
+	}
+	s.mu.Lock()
+	var parts []copyPart
+	base := int64(0)
+	for _, seg := range s.segs {
+		end := base + seg.Bytes
+		if end > from && base < to {
+			p := copyPart{seg: seg, from: from - base, to: to - base}
+			if p.from < 0 {
+				p.from = 0
+			}
+			if p.to > seg.Bytes {
+				p.to = seg.Bytes
+			}
+			parts = append(parts, p)
+		}
+		base = end
+	}
+	var tailData []byte
+	if to > base {
+		data, err := os.ReadFile(s.tailPath())
+		if err != nil && !os.IsNotExist(err) {
+			s.mu.Unlock()
+			return fmt.Errorf("sweep: copy range: %w", err)
+		}
+		tf, tt := from-base, to-base
+		if tf < 0 {
+			tf = 0
+		}
+		if tt > int64(len(data)) {
+			tt = int64(len(data))
+		}
+		if tf < tt {
+			tailData = data[tf:tt]
+		}
+	}
+	s.mu.Unlock()
+
+	for _, p := range parts {
+		data, err := readSegment(s.backend, p.seg)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data[p.from:p.to]); err != nil {
+			return err
+		}
+	}
+	if len(tailData) > 0 {
+		if _, err := w.Write(tailData); err != nil {
+			return err
+		}
+	}
+	return nil
+}
