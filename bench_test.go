@@ -240,6 +240,72 @@ func BenchmarkFig12bDRAMBandwidth(b *testing.B) {
 	b.ReportMetric(res.GeoMean["CIAO-C-2X"], "ciaoc2x-vs-gto")
 }
 
+// BenchmarkCellRun measures the end-to-end cost of one sweep cell —
+// kernel construction plus a full simulation — and reports the two
+// headline hot-path numbers tracked across PRs in BENCH_PR<N>.json:
+// cells/sec (how many cells one core sustains) and ns/cycle (the cost
+// of one simulated cycle). Run with -benchmem to see the allocation
+// trajectory; the steady-state cycle loop is expected to be
+// allocation-free (see BenchmarkCellCycle and the internal/sm alloc
+// regression test).
+func BenchmarkCellRun(b *testing.B) {
+	for _, sc := range []string{"GTO", "CIAO-C"} {
+		b.Run(sc, func(b *testing.B) {
+			spec, err := workload.ByName("SYRK")
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec.InstrPerWarp = 2000
+			f, err := harness.SchedulerByName(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _, err := harness.RunOne(spec, f, harness.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "cells/sec")
+			}
+			if cycles > 0 {
+				b.ReportMetric(sec*1e9/float64(cycles), "ns/cycle")
+			}
+		})
+	}
+}
+
+// BenchmarkCellCycle times one steady-state simulated cycle: a GPU is
+// built untimed and Step() is measured directly, so allocs/op is the
+// per-cycle allocation count on the hot path (gated at 0 in CI).
+func BenchmarkCellCycle(b *testing.B) {
+	spec, err := workload.ByName("SYRK")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.InstrPerWarp = 2000
+	cfg := sm.DefaultConfig()
+	cfg.SampleInterval = 0 // measure the pure cycle path
+	newGPU := func() *sm.GPU {
+		return sm.MustGPU(cfg, workload.MustKernel(spec), sched.NewGTO(), nil)
+	}
+	g := newGPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Done() || g.Cycle() >= g.Config().MaxCycles {
+			b.StopTimer()
+			g = newGPU()
+			b.StartTimer()
+		}
+		g.Step()
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (cycles/op) of the core engine under GTO.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` (test2json) event
+// stream benchgate cares about: benchmark result lines arrive as
+// Action "output" with fragments of the textual benchmark line in
+// Output. A single result line is typically split across events (the
+// name is printed before the benchmark runs, the measurements after),
+// so fragments are reassembled per package before parsing.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// parseFile extracts cells/sec benchmark results from a go test -json
+// stream: benchmark name (GOMAXPROCS suffix stripped) → cells/sec.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Packages may interleave in the stream, but output within one
+	// package is ordered; buffer fragments per package until a newline
+	// completes the line.
+	partial := make(map[string]string)
+	out := make(map[string]float64)
+	emit := func(line string) {
+		if name, val, ok := parseBenchLine(line); ok {
+			out[name] = val
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 || raw[0] != '{' {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue // non-event noise in the stream
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			emit(buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	for _, rest := range partial {
+		emit(rest)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine pulls the cells/sec metric out of one benchmark
+// result line, e.g.
+//
+//	BenchmarkCellRun/GTO-8  34  65371917 ns/op  15.30 cells/sec  85.93 ns/cycle
+//
+// ok is false for lines that are not benchmark results or do not
+// report cells/sec.
+func parseBenchLine(s string) (name string, cellsPerSec float64, ok bool) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i < len(fields); i++ {
+		if fields[i] != "cells/sec" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return trimProcs(fields[0]), v, true
+	}
+	return "", 0, false
+}
+
+// trimProcs strips the trailing -GOMAXPROCS suffix (`CellRun/GTO-8` →
+// `CellRun/GTO`) so snapshots from differently sized runners compare.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sortedKeys returns m's keys in stable order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

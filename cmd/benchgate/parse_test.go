@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		val  float64
+		ok   bool
+	}{
+		{"BenchmarkCellRun/GTO-8 \t      34\t  65371917 ns/op\t        15.30 cells/sec\t        85.93 ns/cycle\n",
+			"BenchmarkCellRun/GTO", 15.30, true},
+		{"BenchmarkCellRun/CIAO-C-8 \t 39\t 60983704 ns/op\t 16.40 cells/sec\n",
+			"BenchmarkCellRun/CIAO-C", 16.40, true},
+		{"BenchmarkREDObserve-8 \t 100\t 12 ns/op\t 0 B/op\t 0 allocs/op\n", "", 0, false},
+		{"ok  \trepro\t1.2s\n", "", 0, false},
+		{"PASS\n", "", 0, false},
+	}
+	for _, c := range cases {
+		name, val, ok := parseBenchLine(c.in)
+		if ok != c.ok || name != c.name || val != c.val {
+			t.Errorf("parseBenchLine(%q) = %q,%v,%v; want %q,%v,%v",
+				c.in, name, val, ok, c.name, c.val, c.ok)
+		}
+	}
+}
+
+func TestParseFileAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Result lines split across output events the way test2json emits
+	// them (name fragment first, measurements after the run), with a
+	// second package's events interleaved between the fragments.
+	stream := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkCellRun/GTO-8 \t"}
+{"Action":"output","Package":"repro/other","Output":"BenchmarkOther-8 \t10\t5 ns/op\t9.99 cells/sec\n"}
+{"Action":"output","Package":"repro","Output":"34\t65371917 ns/op\t15.30 cells/sec\t85.93 ns/cycle\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkCellRun/CIAO-C-4 \t39\t60983704 ns/op\t16.40 cells/sec\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkREDObserve-8 \t100\t12 ns/op\t0 allocs/op\n"}
+{"Action":"pass","Package":"repro"}
+`
+	got, err := parseFile(write("base.json", stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// GOMAXPROCS suffixes are stripped so differently sized runners
+	// compare by benchmark identity; the split GTO line reassembled.
+	if got["BenchmarkCellRun/GTO"] != 15.30 || got["BenchmarkCellRun/CIAO-C"] != 16.40 ||
+		got["BenchmarkOther"] != 9.99 {
+		t.Fatalf("unexpected parse result: %v", got)
+	}
+}

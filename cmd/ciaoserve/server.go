@@ -94,16 +94,15 @@ func newServer(o serverOpts) *server {
 	sweeps.SetRED(sweepRED)
 
 	sweepH := sweeps.Handler()
-	svc := service.NewHandlerOpts(engine, service.HandlerOptions{
-		Extra: func() map[string]any {
+	svc := service.NewHandler(engine,
+		service.WithExtraMetrics(func() map[string]any {
 			return map[string]any{
 				"sweeps": sweeps.MetricsSnapshot(),
 				"coord":  hub.MetricsSnapshot(),
 			}
-		},
-		HTTPRED: red,
-		Prom:    []func(*metrics.PromWriter){sweeps.WriteProm, hub.WriteProm},
-	})
+		}),
+		service.WithHTTPRED(red),
+		service.WithProm(sweeps.WriteProm, hub.WriteProm))
 
 	mux := http.NewServeMux()
 	mux.Handle("/sweeps", sweepH)

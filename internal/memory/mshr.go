@@ -26,10 +26,19 @@ type MSHREntry struct {
 
 // MSHR is a miss status holding register file: a bounded table of
 // outstanding line misses with request merging.
+//
+// Entries are pooled: Fill recycles the retired entry's storage into a
+// free list that the next Allocate reuses (including the Merged slice's
+// backing array), so the steady-state miss path performs no heap
+// allocation. Consequently an entry returned by Fill (or Lookup) is
+// only valid until the next Allocate call — callers must finish
+// walking Merged before issuing new misses, which the single-threaded
+// cycle loop does naturally.
 type MSHR struct {
 	capacity      int
 	maxMergedPer  int
 	entries       map[Addr]*MSHREntry
+	free          []*MSHREntry // recycled entries, LIFO
 	stalls        uint64
 	mergeCount    uint64
 	allocations   uint64
@@ -37,16 +46,24 @@ type MSHR struct {
 }
 
 // NewMSHR returns an MSHR with the given number of entries and maximum
-// merged requests per entry. Both must be positive.
+// merged requests per entry. Both must be positive. The entry pool and
+// per-entry merge slices are preallocated up front.
 func NewMSHR(entries, maxMergedPerEntry int) *MSHR {
 	if entries <= 0 || maxMergedPerEntry <= 0 {
 		panic(fmt.Sprintf("memory: invalid MSHR shape %d×%d", entries, maxMergedPerEntry))
 	}
-	return &MSHR{
+	m := &MSHR{
 		capacity:     entries,
 		maxMergedPer: maxMergedPerEntry,
 		entries:      make(map[Addr]*MSHREntry, entries),
+		free:         make([]*MSHREntry, 0, entries),
 	}
+	backing := make([]MSHREntry, entries)
+	for i := range backing {
+		backing[i].Merged = make([]Request, 0, maxMergedPerEntry)
+		m.free = append(m.free, &backing[i])
+	}
+	return m
 }
 
 // Lookup returns the entry for the line, or nil.
@@ -81,7 +98,14 @@ func (m *MSHR) Allocate(req Request) (entry *MSHREntry, merged bool) {
 	if len(m.entries) >= m.capacity {
 		panic("memory: MSHR entry overflow; call CanAllocate first")
 	}
-	e := &MSHREntry{Line: line, Merged: []Request{req}}
+	var e *MSHREntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		*e = MSHREntry{Line: line, Merged: append(e.Merged[:0], req)}
+	} else {
+		e = &MSHREntry{Line: line, Merged: []Request{req}}
+	}
 	m.entries[line] = e
 	m.allocations++
 	return e, false
@@ -92,7 +116,9 @@ func (m *MSHR) Allocate(req Request) (entry *MSHREntry, merged bool) {
 func (m *MSHR) NoteStall() { m.stalls++ }
 
 // Fill completes the miss for line, removes its entry and returns it.
-// Fill returns nil if the line has no outstanding entry.
+// Fill returns nil if the line has no outstanding entry. The returned
+// entry's storage is recycled: its contents (notably Merged) are valid
+// only until the next Allocate call.
 func (m *MSHR) Fill(line Addr) *MSHREntry {
 	line = line.LineAddr()
 	e, ok := m.entries[line]
@@ -100,6 +126,7 @@ func (m *MSHR) Fill(line Addr) *MSHREntry {
 		return nil
 	}
 	delete(m.entries, line)
+	m.free = append(m.free, e)
 	return e
 }
 
@@ -115,8 +142,12 @@ func (m *MSHR) Stats() (allocations, merges, stalls uint64) {
 	return m.allocations, m.mergeCount, m.stalls
 }
 
-// Reset clears all entries and statistics.
+// Reset clears all entries and statistics, recycling live entries into
+// the pool.
 func (m *MSHR) Reset() {
-	m.entries = make(map[Addr]*MSHREntry, m.capacity)
+	for line, e := range m.entries {
+		delete(m.entries, line)
+		m.free = append(m.free, e)
+	}
 	m.stalls, m.mergeCount, m.allocations, m.mergeRejected = 0, 0, 0, 0
 }

@@ -17,29 +17,70 @@ type Event struct {
 // LatencyQueue is a bounded FIFO whose entries become visible only
 // after their ReadyCycle, modelling a fixed-latency pipe such as the
 // L1↔L2 interconnect or the response queue in Figure 7a.
+//
+// Ordering guarantee: among events that are ready at a given cycle,
+// PopReady/PeekReady/Drain serve them strictly in insertion (FIFO)
+// order; an unready event never blocks a ready one behind it. This is
+// the property the SM fill path relies on for deterministic replay —
+// two fills ready on the same cycle always retire in issue order.
+//
+// The queue is a ring buffer with a cached minimum ReadyCycle, so the
+// common quiescent case ("is anything ready yet?") is answered in O(1)
+// via NextReady without scanning: an idle queue costs the cycle loop
+// one comparison per cycle.
 type LatencyQueue struct {
 	name     string
 	capacity int
-	items    []Event
+	buf      []Event // ring storage
+	head     int     // index of the oldest event
+	n        int     // live event count
+	minReady uint64  // min ReadyCycle over live events; valid when n > 0
 	pushes   uint64
 	fullHits uint64
 }
 
 // NewLatencyQueue returns a queue with the given capacity; capacity <= 0
-// means unbounded.
+// means unbounded. Bounded queues preallocate their ring so the steady
+// state never allocates.
 func NewLatencyQueue(name string, capacity int) *LatencyQueue {
-	return &LatencyQueue{name: name, capacity: capacity}
+	q := &LatencyQueue{name: name, capacity: capacity}
+	if capacity > 0 {
+		q.buf = make([]Event, capacity)
+	}
+	return q
 }
 
 // Name returns the queue's diagnostic name.
 func (q *LatencyQueue) Name() string { return q.name }
 
 // Len reports the number of queued events.
-func (q *LatencyQueue) Len() int { return len(q.items) }
+func (q *LatencyQueue) Len() int { return q.n }
 
 // Full reports whether the queue cannot accept another event.
 func (q *LatencyQueue) Full() bool {
-	return q.capacity > 0 && len(q.items) >= q.capacity
+	return q.capacity > 0 && q.n >= q.capacity
+}
+
+// idx maps a logical position (0 = oldest) to a ring index.
+func (q *LatencyQueue) idx(pos int) int {
+	i := q.head + pos
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return i
+}
+
+// grow doubles the ring of an unbounded queue, unwrapping it.
+func (q *LatencyQueue) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]Event, size)
+	for pos := 0; pos < q.n; pos++ {
+		buf[pos] = q.buf[q.idx(pos)]
+	}
+	q.buf, q.head = buf, 0
 }
 
 // Push enqueues ev; it reports false (and counts a structural stall)
@@ -49,19 +90,72 @@ func (q *LatencyQueue) Push(ev Event) bool {
 		q.fullHits++
 		return false
 	}
-	q.items = append(q.items, ev)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.idx(q.n)] = ev
+	if q.n == 0 || ev.ReadyCycle < q.minReady {
+		q.minReady = ev.ReadyCycle
+	}
+	q.n++
 	q.pushes++
 	return true
 }
 
+// NextReady returns the earliest ReadyCycle among queued events in
+// O(1), letting the cycle loop skip a quiescent queue entirely: no
+// event is consumable before the returned cycle. ok is false when the
+// queue is empty.
+func (q *LatencyQueue) NextReady() (cycle uint64, ok bool) {
+	return q.minReady, q.n > 0
+}
+
+// recomputeMin rescans the live events for the new minimum ReadyCycle.
+// Called after a removal; O(n), but removals are fill retirements which
+// are far rarer than the per-cycle NextReady probes they enable.
+func (q *LatencyQueue) recomputeMin() {
+	if q.n == 0 {
+		q.minReady = 0
+		return
+	}
+	min := q.buf[q.head].ReadyCycle
+	for pos := 1; pos < q.n; pos++ {
+		if rc := q.buf[q.idx(pos)].ReadyCycle; rc < min {
+			min = rc
+		}
+	}
+	q.minReady = min
+}
+
+// removeAt deletes the event at logical position pos, preserving FIFO
+// order by shifting the head side forward (ready events cluster near
+// the head, so the shift distance is typically short).
+func (q *LatencyQueue) removeAt(pos int) Event {
+	i := q.idx(pos)
+	ev := q.buf[i]
+	for p := pos; p > 0; p-- {
+		q.buf[q.idx(p)] = q.buf[q.idx(p-1)]
+	}
+	q.buf[q.head] = Event{}
+	q.head = q.idx(1)
+	q.n--
+	if ev.ReadyCycle == q.minReady {
+		q.recomputeMin()
+	}
+	return ev
+}
+
 // PopReady dequeues and returns the oldest event whose ReadyCycle has
 // arrived, or ok=false when none is ready. FIFO order is preserved
-// among ready events.
+// among ready events. The nothing-ready case is O(1) via the cached
+// minimum.
 func (q *LatencyQueue) PopReady(now uint64) (ev Event, ok bool) {
-	for i, it := range q.items {
-		if it.ReadyCycle <= now {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			return it, true
+	if q.n == 0 || q.minReady > now {
+		return Event{}, false
+	}
+	for pos := 0; pos < q.n; pos++ {
+		if q.buf[q.idx(pos)].ReadyCycle <= now {
+			return q.removeAt(pos), true
 		}
 	}
 	return Event{}, false
@@ -69,29 +163,47 @@ func (q *LatencyQueue) PopReady(now uint64) (ev Event, ok bool) {
 
 // PeekReady returns (without removing) the oldest ready event.
 func (q *LatencyQueue) PeekReady(now uint64) (ev Event, ok bool) {
-	for _, it := range q.items {
-		if it.ReadyCycle <= now {
-			return it, true
+	if q.n == 0 || q.minReady > now {
+		return Event{}, false
+	}
+	for pos := 0; pos < q.n; pos++ {
+		if e := q.buf[q.idx(pos)]; e.ReadyCycle <= now {
+			return e, true
 		}
 	}
 	return Event{}, false
 }
 
-// Remove deletes the i-th event (in internal order). It is used by the
-// CIAO migration path, which plucks a specific response-queue slot.
-func (q *LatencyQueue) Remove(i int) Event {
-	ev := q.items[i]
-	q.items = append(q.items[:i], q.items[i+1:]...)
-	return ev
+// Drain pops every event ready at cycle now, in FIFO-among-ready
+// order, invoking fn on each. It returns the number drained. Events
+// fn's side effects push onto the queue during the drain are served in
+// the same pass when already ready (matching a pop loop's semantics).
+func (q *LatencyQueue) Drain(now uint64, fn func(Event)) int {
+	drained := 0
+	for {
+		ev, ok := q.PopReady(now)
+		if !ok {
+			return drained
+		}
+		drained++
+		fn(ev)
+	}
 }
 
-// FindLine returns the index of the first queued event whose Line
-// matches, or -1.
+// Remove deletes the event at logical position i (0 = oldest). It is
+// used by the CIAO migration path, which plucks a specific
+// response-queue slot.
+func (q *LatencyQueue) Remove(i int) Event {
+	return q.removeAt(i)
+}
+
+// FindLine returns the logical position of the first queued event
+// whose Line matches, or -1.
 func (q *LatencyQueue) FindLine(line Addr) int {
 	line = line.LineAddr()
-	for i, it := range q.items {
-		if it.Line == line {
-			return i
+	for pos := 0; pos < q.n; pos++ {
+		if q.buf[q.idx(pos)].Line == line {
+			return pos
 		}
 	}
 	return -1
@@ -104,6 +216,9 @@ func (q *LatencyQueue) Stats() (pushes, fullRejections uint64) {
 
 // Reset empties the queue and clears statistics.
 func (q *LatencyQueue) Reset() {
-	q.items = q.items[:0]
+	for i := range q.buf {
+		q.buf[i] = Event{}
+	}
+	q.head, q.n, q.minReady = 0, 0, 0
 	q.pushes, q.fullHits = 0, 0
 }

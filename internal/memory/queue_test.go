@@ -104,3 +104,99 @@ func TestLatencyQueueReset(t *testing.T) {
 		t.Fatal("reset did not clear stats")
 	}
 }
+
+func TestLatencyQueueNextReady(t *testing.T) {
+	q := NewLatencyQueue("t", 0)
+	if _, ok := q.NextReady(); ok {
+		t.Fatal("empty queue reported a ready cycle")
+	}
+	q.Push(Event{Line: 0x100, ReadyCycle: 30})
+	q.Push(Event{Line: 0x200, ReadyCycle: 10})
+	q.Push(Event{Line: 0x300, ReadyCycle: 20})
+	if rc, ok := q.NextReady(); !ok || rc != 10 {
+		t.Fatalf("NextReady = %d,%v, want 10,true", rc, ok)
+	}
+	// Popping the minimum event recomputes the cached minimum.
+	if ev, ok := q.PopReady(15); !ok || ev.Line != 0x200 {
+		t.Fatalf("PopReady(15) = %+v,%v, want line 0x200", ev, ok)
+	}
+	if rc, ok := q.NextReady(); !ok || rc != 20 {
+		t.Fatalf("after pop, NextReady = %d,%v, want 20,true", rc, ok)
+	}
+	// Nothing is consumable before the advertised cycle.
+	if _, ok := q.PopReady(19); ok {
+		t.Fatal("PopReady before NextReady succeeded")
+	}
+}
+
+func TestLatencyQueueDrain(t *testing.T) {
+	q := NewLatencyQueue("t", 0)
+	q.Push(Event{Line: 0x100, ReadyCycle: 5})
+	q.Push(Event{Line: 0x200, ReadyCycle: 50})
+	q.Push(Event{Line: 0x300, ReadyCycle: 5})
+	q.Push(Event{Line: 0x400, ReadyCycle: 7})
+	var got []Addr
+	n := q.Drain(10, func(ev Event) { got = append(got, ev.Line) })
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("Drain = %d events, want 3", n)
+	}
+	// FIFO among ready: 0x100 and 0x300 (cycle 5) retire in push order,
+	// then 0x400; the unready 0x200 never blocks them.
+	want := []Addr{0x100, 0x300, 0x400}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("after drain Len = %d, want 1", q.Len())
+	}
+}
+
+// TestLatencyQueueWraparound pushes and pops past the ring's physical
+// end so the head wraps, checking FIFO order and the cached minimum
+// survive the seam.
+func TestLatencyQueueWraparound(t *testing.T) {
+	q := NewLatencyQueue("t", 4)
+	next := Addr(0)
+	push := func(rc uint64) {
+		if !q.Push(Event{Line: next, ReadyCycle: rc}) {
+			t.Fatalf("push %d rejected", next)
+		}
+		next += 0x40
+	}
+	var want Addr
+	pop := func(now uint64) {
+		ev, ok := q.PopReady(now)
+		if !ok || ev.Line != want {
+			t.Fatalf("pop = %v,%v, want line %v", ev.Line, ok, want)
+		}
+		want += 0x40
+	}
+	for round := 0; round < 5; round++ {
+		push(uint64(round))
+		push(uint64(round))
+		pop(uint64(round))
+		pop(uint64(round))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after wraparound rounds: %d", q.Len())
+	}
+	// Refill a wrapped queue to capacity and check unready skipping.
+	push(100)
+	push(5)
+	push(100)
+	push(5)
+	if rc, _ := q.NextReady(); rc != 5 {
+		t.Fatalf("NextReady = %d, want 5", rc)
+	}
+	if ev, ok := q.PopReady(10); !ok || ev.ReadyCycle != 5 {
+		t.Fatalf("PopReady skipped wrong event: %+v %v", ev, ok)
+	}
+	if ev, ok := q.PopReady(10); !ok || ev.ReadyCycle != 5 {
+		t.Fatalf("second ready event missing: %+v %v", ev, ok)
+	}
+	if _, ok := q.PopReady(10); ok {
+		t.Fatal("unready event popped")
+	}
+}

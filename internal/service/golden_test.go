@@ -1,0 +1,43 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestGoldenCellResults pins the exact CellResult JSON of five cells
+// spanning every major simulator path (GTO baseline, CIAO shared-memory
+// isolation, CCWS, statPCAL, CIAO-P) to SHA-256 hashes captured from
+// the simulator before the hot-path rewrite (ring-buffer LatencyQueue,
+// pooled MSHR entries, batched warp streams, live-warp scheduling).
+//
+// A hash mismatch means the rewrite changed simulated behaviour, not
+// just its speed — every optimisation to the cycle loop must be
+// bit-exact. If a deliberate model change lands, regenerate the hashes
+// and say so in the commit message.
+func TestGoldenCellResults(t *testing.T) {
+	golden := []struct {
+		bench, sched string
+		sha          string
+	}{
+		{"SYRK", "GTO", "b09b4687b29aa9dfb417a04b54ec8238df085da2a6cc4ae3c8fd89c150c100d4"},
+		{"SYRK", "CIAO-C", "76f3d09fec97a6df2decd76470ef09cafca2b93b14eed585d8d5677903691751"},
+		{"ATAX", "CCWS", "e98e31d0ba84075a47eb02bc416478283f59cdba11e135c5575266b465e6e745"},
+		{"Backprop", "statPCAL", "e6df73ffac843fea01156a6b62810dd57b74bc136a6b8a181f280398f38d2800"},
+		{"KMN", "CIAO-P", "be0937d776f63f534fa37430702f59debe5bd1c5d198aeb5e1c0a9d7e5b794d2"},
+	}
+	for _, g := range golden {
+		spec := Spec{Experiment: ExpRun, Bench: g.bench, Sched: g.sched,
+			Options: OptionSpec{InstrPerWarp: 1500, Seed: 7}}
+		payload, err := Execute(spec)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", g.bench, g.sched, err)
+		}
+		sum := sha256.Sum256(payload)
+		if got := hex.EncodeToString(sum[:]); got != g.sha {
+			t.Errorf("%s/%s: CellResult JSON diverged from pre-rewrite golden\n got %s\nwant %s",
+				g.bench, g.sched, got, g.sha)
+		}
+	}
+}

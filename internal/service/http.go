@@ -11,19 +11,6 @@ import (
 // maxBodyBytes bounds request bodies; specs are tiny.
 const maxBodyBytes = 1 << 20
 
-// NewHandler wires the engine into an http.Handler:
-//
-//	POST /run          — one bench × sched cell, synchronous
-//	POST /experiment   — any experiment by name, asynchronous (202 + job id)
-//	GET  /jobs/{id}    — job status; result inlined once done
-//	GET  /metrics      — engine/cache counters (plus extra subsystems)
-//	GET  /healthz      — liveness plus the same counters
-//
-// Responses are JSON; /run and finished jobs carry an X-Cache header
-// (computed, cache, or coalesced) so clients and tests can observe
-// cache effectiveness.
-func NewHandler(e *Engine) http.Handler { return NewHandlerWith(e, nil) }
-
 // MetricsSnapshot is the /metrics payload.
 type MetricsSnapshot struct {
 	// Cache is the result cache's hit/miss/eviction counters.
@@ -42,31 +29,56 @@ type MetricsSnapshot struct {
 	HTTP map[string]metrics.SeriesSnapshot `json:"http,omitempty"`
 }
 
-// HandlerOptions extends NewHandler with hooks owned by layers the
-// service package cannot import (sweep, coord sit above it) plus the
-// RED registry the server's middleware feeds.
-type HandlerOptions struct {
-	// Extra is folded into the JSON /metrics and /healthz payloads
-	// under "extra", keyed by subsystem.
-	Extra func() map[string]any
-	// HTTPRED, when set, adds per-route RED snapshots to the JSON
-	// payload and ciao_http_* families to the Prometheus exposition.
-	HTTPRED *metrics.RED
-	// Prom hooks let other subsystems append their own families to the
-	// Prometheus exposition (sweep manager, coordinator hub).
-	Prom []func(*metrics.PromWriter)
+// handlerConfig collects the observability hooks a HandlerOption can
+// install: they are owned by layers the service package cannot import
+// (sweep and coord sit above it) plus the RED registry the server's
+// middleware feeds.
+type handlerConfig struct {
+	extra   func() map[string]any
+	httpRED *metrics.RED
+	prom    []func(*metrics.PromWriter)
 }
 
-// NewHandlerWith is NewHandler plus an extra-metrics hook; see
-// NewHandlerOpts for the full option set.
-func NewHandlerWith(e *Engine, extra func() map[string]any) http.Handler {
-	return NewHandlerOpts(e, HandlerOptions{Extra: extra})
+// HandlerOption customises NewHandler.
+type HandlerOption func(*handlerConfig)
+
+// WithExtraMetrics folds fn's result into the JSON /metrics and
+// /healthz payloads under "extra", keyed by subsystem.
+func WithExtraMetrics(fn func() map[string]any) HandlerOption {
+	return func(c *handlerConfig) { c.extra = fn }
 }
 
-// NewHandlerOpts builds the service handler with observability hooks.
-// GET /metrics answers JSON by default and Prometheus text exposition
-// when the request asks for it (?format=prom or Accept: text/plain).
-func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
+// WithHTTPRED adds per-route RED snapshots to the JSON /metrics
+// payload and ciao_http_* families to the Prometheus exposition.
+func WithHTTPRED(red *metrics.RED) HandlerOption {
+	return func(c *handlerConfig) { c.httpRED = red }
+}
+
+// WithProm appends subsystem hooks (sweep manager, coordinator hub) to
+// the Prometheus exposition.
+func WithProm(hooks ...func(*metrics.PromWriter)) HandlerOption {
+	return func(c *handlerConfig) { c.prom = append(c.prom, hooks...) }
+}
+
+// NewHandler wires the engine into an http.Handler:
+//
+//	POST /run          — one bench × sched cell, synchronous
+//	POST /experiment   — any experiment by name, asynchronous (202 + job id)
+//	GET  /jobs/{id}    — job status; result inlined once done
+//	GET  /metrics      — engine/cache counters (plus extra subsystems)
+//	GET  /healthz      — liveness plus the same counters
+//
+// Responses are JSON; /run and finished jobs carry an X-Cache header
+// (computed, cache, or coalesced) so clients and tests can observe
+// cache effectiveness. GET /metrics answers JSON by default and
+// Prometheus text exposition when the request asks for it
+// (?format=prom or Accept: text/plain). Observability hooks are
+// installed via With* options.
+func NewHandler(e *Engine, options ...HandlerOption) http.Handler {
+	var opts handlerConfig
+	for _, o := range options {
+		o(&opts)
+	}
 	snapshot := func() MetricsSnapshot {
 		s := MetricsSnapshot{
 			Cache:         e.Cache().Stats(),
@@ -74,11 +86,11 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 			Simulations:   e.Simulations(),
 			JobsSubmitted: e.JobsSubmitted(),
 		}
-		if opts.Extra != nil {
-			s.Extra = opts.Extra()
+		if opts.extra != nil {
+			s.Extra = opts.extra()
 		}
-		if opts.HTTPRED != nil {
-			s.HTTP = opts.HTTPRED.Snapshot()
+		if opts.httpRED != nil {
+			s.HTTP = opts.httpRED.Snapshot()
 		}
 		return s
 	}
@@ -86,10 +98,10 @@ func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
 		w.Header().Set("Content-Type", metrics.PromContentType)
 		p := metrics.NewPromWriter(w)
 		e.WriteProm(p)
-		if opts.HTTPRED != nil {
-			opts.HTTPRED.WriteProm(p, "ciao_http", "route")
+		if opts.httpRED != nil {
+			opts.httpRED.WriteProm(p, "ciao_http", "route")
 		}
-		for _, hook := range opts.Prom {
+		for _, hook := range opts.prom {
 			hook(p)
 		}
 	}

@@ -1,0 +1,41 @@
+package sm_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateCycleAllocs pins the hot-path guarantee the PR-9
+// rewrite bought: once a simulation is warmed up, advancing a cycle
+// performs zero heap allocations — the response queue is a
+// preallocated ring, MSHR entries are pooled, warps hand out
+// instructions from their batch buffers, and the stream generator
+// reads precompiled phase constants. A regression here silently
+// multiplies GC pressure across every sweep cell, so it fails loudly.
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	spec := tinySpec()
+	spec.InstrPerWarp = 20000
+	cfg := sm.DefaultConfig()
+	cfg.SampleInterval = 0 // the sampled time series may grow; exclude it
+	k := workload.MustKernel(spec)
+	g := sm.MustGPU(cfg, k, sched.NewGTO(), nil)
+	// Warm up: fill the MSHR pool's working set, wrap the response
+	// ring, populate caches.
+	for i := 0; i < 5000 && !g.Done(); i++ {
+		g.Step()
+	}
+	if g.Done() {
+		t.Fatal("workload too short to measure steady state")
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if !g.Done() {
+			g.Step()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Step allocates %.3f objects/cycle, want 0", avg)
+	}
+}

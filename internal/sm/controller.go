@@ -84,7 +84,10 @@ func (g *GreedyThenOldest) PickGTO(gpu *GPU, now uint64, eligible func(*Warp) bo
 			return g.current
 		}
 	}
-	for i := 0; i < gpu.NumWarps(); i++ {
+	// The live list is ascending, so this is the same oldest-first
+	// order as scanning 0..NumWarps — minus the finished warps, which
+	// are never issueable anyway.
+	for _, i := range gpu.LiveWarpIDs() {
 		w := gpu.Warp(i)
 		if w.Issueable(now) && eligible(w) {
 			g.current = i

@@ -35,6 +35,14 @@ type GPU struct {
 
 	warps    []Warp
 	barriers []int // waiting count per CTA
+	// live holds the IDs of unfinished warps in ascending order, so
+	// per-cycle scans (scheduler pick, deadlock release) skip finished
+	// warps instead of filtering the full warp array every cycle.
+	live []int
+	// ctaLive tracks unfinished warps per CTA, replacing the all-warp
+	// scan the barrier-release check used to do.
+	ctaLive     []int
+	warpsPerCTA int
 
 	cycle         uint64
 	instTotal     uint64
@@ -43,6 +51,9 @@ type GPU struct {
 	lastIssue     uint64
 	deadlockFrees uint64
 	structStalls  uint64
+	// nextSample is the cycle of the next time-series sample
+	// (maxUint64 when sampling is off), replacing a per-cycle modulo.
+	nextSample uint64
 
 	imat *metrics.InterferenceMatrix
 	ts   metrics.TimeSeries
@@ -106,6 +117,9 @@ func NewGPU(cfg Config, kernel *workload.Kernel, ctrl Controller, sharedL2 *l2.L
 
 	g.warps = make([]Warp, spec.NumWarps)
 	g.barriers = make([]int, spec.NumCTAs())
+	g.live = make([]int, spec.NumWarps)
+	g.ctaLive = make([]int, spec.NumCTAs())
+	g.warpsPerCTA = spec.WarpsPerCTA
 	for i := range g.warps {
 		g.warps[i] = Warp{
 			ID:         i,
@@ -114,6 +128,12 @@ func NewGPU(cfg Config, kernel *workload.Kernel, ctrl Controller, sharedL2 *l2.L
 			MaxPending: cfg.MaxOutstandingLines,
 			stream:     kernel.Stream(i),
 		}
+		g.live[i] = i
+		g.ctaLive[i/spec.WarpsPerCTA]++
+	}
+	g.nextSample = ^uint64(0)
+	if cfg.SampleInterval > 0 {
+		g.nextSample = cfg.SampleInterval
 	}
 	ctrl.Attach(g)
 	return g, nil
@@ -145,8 +165,8 @@ func (g *GPU) InstTotal() uint64 { return g.instTotal }
 // ActiveWarps counts warps that are neither finished nor stalled.
 func (g *GPU) ActiveWarps() int {
 	n := 0
-	for i := range g.warps {
-		if !g.warps[i].Finished && g.warps[i].V {
+	for _, id := range g.live {
+		if g.warps[id].V {
 			n++
 		}
 	}
@@ -155,6 +175,12 @@ func (g *GPU) ActiveWarps() int {
 
 // LiveWarps counts unfinished warps.
 func (g *GPU) LiveWarps() int { return len(g.warps) - g.finished }
+
+// LiveWarpIDs returns the IDs of unfinished warps in ascending order.
+// Schedulers iterate this instead of 0..NumWarps so a mostly-drained
+// kernel does not pay for warps that already retired. Callers must not
+// mutate or retain the slice; it changes as warps finish.
+func (g *GPU) LiveWarpIDs() []int { return g.live }
 
 // CTABarrierPending reports whether any warp of the CTA is waiting at
 // a barrier, which entitles stalled CTA members to a scheduling boost
@@ -222,13 +248,17 @@ func (g *GPU) Run() Result {
 func (g *GPU) Step() {
 	now := g.cycle
 
-	// 1. Retire ready fills.
-	for {
-		ev, ok := g.respQ.PopReady(now)
-		if !ok {
-			break
+	// 1. Retire ready fills. NextReady answers the common "nothing in
+	// flight is due yet" case in O(1), so a quiescent response queue
+	// costs one comparison.
+	if rc, ok := g.respQ.NextReady(); ok && rc <= now {
+		for {
+			ev, ok := g.respQ.PopReady(now)
+			if !ok {
+				break
+			}
+			g.handleFill(ev, now)
 		}
-		g.handleFill(ev, now)
 	}
 
 	// 2. Controller epoch work.
@@ -247,8 +277,9 @@ func (g *GPU) Step() {
 	}
 
 	// 4. Sampling.
-	if g.cfg.SampleInterval > 0 && now > 0 && now%g.cfg.SampleInterval == 0 {
+	if now == g.nextSample {
 		g.sample(now)
+		g.nextSample = now + g.cfg.SampleInterval
 	}
 	g.cycle++
 }
@@ -257,9 +288,9 @@ func (g *GPU) Step() {
 // window expires.
 func (g *GPU) freeStalledWarps(now uint64) {
 	freed := false
-	for i := range g.warps {
-		if !g.warps[i].Finished && !g.warps[i].V {
-			g.warps[i].V = true
+	for _, id := range g.live {
+		if !g.warps[id].V {
+			g.warps[id].V = true
 			freed = true
 		}
 	}
@@ -303,7 +334,7 @@ func (g *GPU) issue(wid int, now uint64) {
 		}
 	}
 	if !issued {
-		w.retry(ins)
+		w.retry()
 		g.structStalls++
 		w.NextReady = now + 1
 		return
@@ -312,7 +343,7 @@ func (g *GPU) issue(wid int, now uint64) {
 	w.LastIssued = now
 	g.instTotal++
 	g.ctrl.OnIssue(g, now, wid, ins.Kind)
-	if w.stream.Done() && w.pending == nil {
+	if w.drained() {
 		g.finishWarp(wid)
 	}
 }
@@ -332,7 +363,7 @@ func (g *GPU) probeVTA(w *Warp, addr memory.Addr, now uint64, atShared bool) {
 
 // load serves a global load of up to MaxFanout coalesced lines;
 // reports false on a structural stall (nothing issued, retried later).
-func (g *GPU) load(w *Warp, ins workload.Instruction, now uint64) bool {
+func (g *GPU) load(w *Warp, ins *workload.Instruction, now uint64) bool {
 	path := g.ctrl.MemPath(g, w.ID)
 	if path == PathSharedCache && g.shc == nil {
 		path = PathL1
@@ -493,7 +524,7 @@ func (g *GPU) fillShared(addr memory.Addr, wid int) {
 }
 
 // store serves a global store (write-through, non-blocking).
-func (g *GPU) store(w *Warp, ins workload.Instruction, now uint64) bool {
+func (g *GPU) store(w *Warp, ins *workload.Instruction, now uint64) bool {
 	path := g.ctrl.MemPath(g, w.ID)
 	if path == PathSharedCache && g.shc == nil {
 		path = PathL1
@@ -567,20 +598,20 @@ func (g *GPU) arriveBarrier(wid int, now uint64) {
 }
 
 // maybeReleaseBarrier opens the CTA barrier once all live warps
-// arrived.
+// arrived. A CTA's warps occupy the contiguous ID range
+// [cta*warpsPerCTA, (cta+1)*warpsPerCTA), so the release touches only
+// that range; the live count comes from the ctaLive table.
 func (g *GPU) maybeReleaseBarrier(cta int, now uint64) {
-	live := 0
-	for i := range g.warps {
-		if g.warps[i].CTA == cta && !g.warps[i].Finished {
-			live++
-		}
-	}
-	if g.barriers[cta] < live {
+	if g.barriers[cta] < g.ctaLive[cta] {
 		return
 	}
 	g.barriers[cta] = 0
-	for i := range g.warps {
-		if g.warps[i].CTA == cta && g.warps[i].AtBarrier {
+	lo, hi := cta*g.warpsPerCTA, (cta+1)*g.warpsPerCTA
+	if hi > len(g.warps) {
+		hi = len(g.warps)
+	}
+	for i := lo; i < hi; i++ {
+		if g.warps[i].AtBarrier {
 			g.warps[i].AtBarrier = false
 			if g.warps[i].NextReady <= now {
 				g.warps[i].NextReady = now + 1
@@ -597,6 +628,13 @@ func (g *GPU) finishWarp(wid int) {
 	}
 	w.Finished = true
 	g.finished++
+	g.ctaLive[w.CTA]--
+	for i, id := range g.live {
+		if id == wid {
+			g.live = append(g.live[:i], g.live[i+1:]...)
+			break
+		}
+	}
 	g.ctrl.OnWarpFinished(g, wid)
 	g.maybeReleaseBarrier(w.CTA, g.cycle)
 }

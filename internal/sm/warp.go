@@ -39,11 +39,25 @@ type Warp struct {
 	LastIssued uint64
 
 	stream *workload.WarpStream
-	// pending holds an instruction that failed a structural hazard
-	// (MSHR full, response queue full) and must be retried.
-	pending    *workload.Instruction
-	stallCount uint64
+	// retryPending marks that the last instruction handed out by next
+	// failed a structural hazard (MSHR full, response queue full) and
+	// must be handed out again; the instruction stays in buf.
+	retryPending bool
+	stallCount   uint64
+
+	// buf holds instructions pre-generated from the stream in batches,
+	// so the per-issue path hands out a pointer into stable storage
+	// (no per-instruction copy, no heap escape) and the stream's RNG
+	// and phase bookkeeping amortise across warpBatch instructions.
+	buf  [warpBatch]workload.Instruction
+	bufI uint8 // next instruction to hand out
+	bufN uint8 // instructions generated into buf
 }
+
+// warpBatch is how many instructions a warp pre-generates per stream
+// refill. Pre-generation is safe because streams are pure functions of
+// their own state — nothing in the simulation feeds back into them.
+const warpBatch = 16
 
 // Ready reports whether the warp can be issued at cycle now. Stalled
 // (V=0), finished, barrier-blocked and memory-blocked warps are not
@@ -88,19 +102,36 @@ func (w *Warp) State() string {
 	}
 }
 
-// next returns the warp's next instruction, honouring a structurally
-// stalled retry first.
-func (w *Warp) next() (workload.Instruction, bool) {
-	if w.pending != nil {
-		ins := *w.pending
-		w.pending = nil
-		return ins, true
+// next returns a pointer to the warp's next instruction, honouring a
+// structurally stalled retry first. The pointee lives in the warp's
+// batch buffer and is valid until the instruction after it is handed
+// out (the issue path consumes it within the same cycle).
+func (w *Warp) next() (*workload.Instruction, bool) {
+	if w.retryPending {
+		w.retryPending = false
+		return &w.buf[w.bufI-1], true
 	}
-	return w.stream.Next()
+	if w.bufI == w.bufN {
+		n := w.stream.Fill(w.buf[:])
+		if n == 0 {
+			return nil, false
+		}
+		w.bufI, w.bufN = 0, uint8(n)
+	}
+	ins := &w.buf[w.bufI]
+	w.bufI++
+	return ins, true
 }
 
-// retry re-queues an instruction after a structural hazard.
-func (w *Warp) retry(ins workload.Instruction) {
-	w.pending = &ins
+// retry re-queues the instruction most recently handed out by next,
+// after a structural hazard.
+func (w *Warp) retry() {
+	w.retryPending = true
 	w.stallCount++
+}
+
+// drained reports that the warp has no instruction left anywhere:
+// stream exhausted, batch buffer consumed, no retry pending.
+func (w *Warp) drained() bool {
+	return !w.retryPending && w.bufI == w.bufN && w.stream.Done()
 }

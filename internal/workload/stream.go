@@ -30,16 +30,32 @@ func (r *rng) intn(n int) int {
 // pct rolls a percentage in [0,100).
 func (r *rng) pct() int { return int(r.next() % 100) }
 
+// phaseRT is a phase's precomputed runtime view: every per-instruction
+// derived quantity (heavy-warp adjustments, effective window geometry,
+// slide threshold) folded into constants at stream construction, so
+// the generation hot path reads fields instead of re-deriving them.
+type phaseRT struct {
+	bound   uint64 // cumulative instruction boundary (exclusive)
+	memProb int    // global-access probability, per mille
+	irrPct  int    // irregular-jump share of addresses, per cent
+	winPct  int    // window re-reference share of addresses, per cent
+	fanout  int    // addresses per memory instruction
+	win     uint64 // effective window size in lines
+	span    uint64 // streaming span beyond the window, >= 1
+	slideAt int    // window touches between one-line slides
+}
+
 // WarpStream generates the instruction sequence of one warp, lazily
 // and deterministically.
 type WarpStream struct {
-	spec    Spec
-	warpID  int
-	heavy   bool // heterogeneity: elevated traffic and window
-	rnd     *rng
-	issued  uint64 // instructions produced so far
-	phases  []Phase
-	phaseAt []uint64 // cumulative instruction boundary of each phase
+	spec     Spec
+	warpID   int
+	heavy    bool // heterogeneity: elevated traffic and window
+	rnd      *rng
+	issued   uint64    // instructions produced so far
+	rt       []phaseRT // precomputed phases, in order
+	cur      int       // index of the active phase in rt
+	conflict int       // shared-op bank conflict degree, >= 1
 
 	// Window-walk state.
 	windowStart  uint64 // line offset of the window within the region
@@ -89,16 +105,23 @@ func NewWarpStream(spec Spec, warpID int) *WarpStream {
 	base := GlobalBase + memory.Addr(uint64(region)*regionLines*memory.LineSize)
 
 	heavy := spec.HeavyEvery > 0 && warpID%spec.HeavyEvery == spec.HeavyEvery-1
+	conflict := spec.ConflictDegree
+	if conflict < 1 {
+		conflict = 1
+	}
 	ws := &WarpStream{
 		spec:        spec,
 		warpID:      warpID,
 		heavy:       heavy,
 		rnd:         newRNG(spec.Seed ^ (uint64(warpID)+1)*0xA24BAED4963EE407),
-		phases:      phases,
-		phaseAt:     bounds,
+		rt:          make([]phaseRT, len(phases)),
+		conflict:    conflict,
 		regionLines: regionLines,
 		regionBase:  base,
 		inputLines:  inputLines,
+	}
+	for i, p := range phases {
+		ws.rt[i] = ws.compilePhase(p, bounds[i])
 	}
 	// Warps sharing a region start phase-shifted within the window so
 	// they chase each other's lines rather than marching in lockstep.
@@ -118,129 +141,143 @@ func (s *WarpStream) Remaining() uint64 { return s.spec.InstrPerWarp - s.issued 
 // Done reports stream exhaustion.
 func (s *WarpStream) Done() bool { return s.issued >= s.spec.InstrPerWarp }
 
-// phase returns the active phase for the next instruction.
-func (s *WarpStream) phase() Phase {
-	for i, b := range s.phaseAt {
-		if s.issued < b {
-			return s.phases[i]
-		}
+// compilePhase folds a phase's per-instruction derivations (the heavy
+// 1.6× traffic boost, locality shift, effective window and slide
+// threshold) into a phaseRT. The arithmetic mirrors what the old
+// generation path computed per call; only the evaluation point moves.
+func (s *WarpStream) compilePhase(ph Phase, bound uint64) phaseRT {
+	rt := phaseRT{bound: bound, memProb: ph.MemProbPerMille(),
+		irrPct: ph.IrregularPct, winPct: ph.WindowPct, fanout: ph.Fanout}
+	if rt.fanout <= 0 {
+		rt.fanout = 1
 	}
-	return s.phases[len(s.phases)-1]
-}
-
-// Next produces the next instruction; ok=false when exhausted.
-func (s *WarpStream) Next() (ins Instruction, ok bool) {
-	if s.Done() {
-		return Instruction{}, false
-	}
-	defer func() { s.issued++ }()
-
-	// Barriers fire at fixed indices so all warps of a CTA agree.
-	if s.spec.Barriers && s.spec.BarrierEvery > 0 &&
-		s.issued > 0 && s.issued%s.spec.BarrierEvery == 0 {
-		return Instruction{Kind: BarrierOp}, true
-	}
-
-	ph := s.phase()
-
-	// Explicit shared-memory traffic.
-	if s.spec.SharedPct > 0 && s.rnd.pct() < s.spec.SharedPct {
-		deg := s.spec.ConflictDegree
-		if deg < 1 {
-			deg = 1
-		}
-		return Instruction{Kind: SharedOp, Conflict: deg}, true
-	}
-
-	// Global memory access with probability derived from the phase's
-	// thread-level APKI and coalescing fan-out; heavy warps run 1.6×
-	// hotter.
-	prob := ph.MemProbPerMille()
-	if s.heavy {
-		prob = prob * 8 / 5
-		if prob > 980 {
-			prob = 980
-		}
-	}
-	if int(s.rnd.next()%1000) < prob {
-		kind := GlobalLoad
-		if s.spec.StorePct > 0 && s.rnd.pct() < s.spec.StorePct {
-			kind = GlobalStore
-		}
-		ins := Instruction{Kind: kind}
-		fan := ph.Fanout
-		if fan <= 0 {
-			fan = 1
-		}
-		if kind == GlobalStore {
-			// Results stream to a private output array; they never
-			// touch the reuse window.
-			for k := 0; k < fan; k++ {
-				line := uint64(s.warpID)<<24 + s.outCursor
-				s.outCursor++
-				ins.Addrs[k] = OutputBase + memory.Addr(line*memory.LineSize)
-			}
-			ins.NAddr = uint8(fan)
-			return ins, true
-		}
-		for k := 0; k < fan; k++ {
-			ins.Addrs[k] = s.nextAddress(ph)
-		}
-		ins.NAddr = uint8(fan)
-		return ins, true
-	}
-	return Instruction{Kind: Compute}, true
-}
-
-// window returns the warp's effective window size for the phase.
-func (s *WarpStream) window(ph Phase) uint64 {
 	win := uint64(ph.WindowLines)
 	if win == 0 {
 		win = 1
 	}
+	reuse := ph.Reuse
+	if reuse <= 0 {
+		reuse = 1
+	}
 	if s.heavy {
+		// Heavy warps run hotter and are the high-locality ones: more
+		// window re-references, less irregularity, a scaled window.
+		rt.memProb = rt.memProb * 8 / 5
+		if rt.memProb > 980 {
+			rt.memProb = 980
+		}
+		rt.irrPct /= 4
+		rt.winPct += 20
+		if rt.winPct > 85 {
+			rt.winPct = 85
+		}
 		scale := ph.HeavyScale
 		if scale <= 0 {
 			scale = 1
 		}
 		win *= uint64(scale)
+		reuse *= HeavyReuseScale
 	}
 	if win > s.regionLines {
 		win = s.regionLines
 	}
-	return win
+	rt.win = win
+	rt.span = s.regionLines - win
+	if rt.span == 0 {
+		rt.span = 1
+	}
+	rt.slideAt = int(win) * reuse
+	return rt
+}
+
+// Next produces the next instruction; ok=false when exhausted.
+func (s *WarpStream) Next() (ins Instruction, ok bool) {
+	if s.issued >= s.spec.InstrPerWarp {
+		return Instruction{}, false
+	}
+	s.gen(&ins)
+	return ins, true
+}
+
+// Fill generates up to len(dst) instructions into dst and returns how
+// many it produced (0 when exhausted). Batching lets the SM refill a
+// warp's instruction buffer in one call, amortising the phase lookup
+// and call overhead of Next across the batch.
+func (s *WarpStream) Fill(dst []Instruction) int {
+	n := 0
+	for n < len(dst) && s.issued < s.spec.InstrPerWarp {
+		s.gen(&dst[n])
+		n++
+	}
+	return n
+}
+
+// gen writes the next instruction into *ins and advances the stream.
+// The caller has checked the stream is not exhausted.
+func (s *WarpStream) gen(ins *Instruction) {
+	issued := s.issued
+	s.issued = issued + 1
+
+	// Barriers fire at fixed indices so all warps of a CTA agree.
+	if s.spec.Barriers && s.spec.BarrierEvery > 0 &&
+		issued > 0 && issued%s.spec.BarrierEvery == 0 {
+		*ins = Instruction{Kind: BarrierOp}
+		return
+	}
+
+	// issued only grows, so the active phase advances monotonically: a
+	// cursor bump replaces the old per-instruction boundary scan.
+	for s.cur+1 < len(s.rt) && issued >= s.rt[s.cur].bound {
+		s.cur++
+	}
+	ph := &s.rt[s.cur]
+
+	// Explicit shared-memory traffic.
+	if s.spec.SharedPct > 0 && s.rnd.pct() < s.spec.SharedPct {
+		*ins = Instruction{Kind: SharedOp, Conflict: s.conflict}
+		return
+	}
+
+	// Global memory access with probability derived from the phase's
+	// thread-level APKI and coalescing fan-out.
+	if int(s.rnd.next()%1000) < ph.memProb {
+		kind := GlobalLoad
+		if s.spec.StorePct > 0 && s.rnd.pct() < s.spec.StorePct {
+			kind = GlobalStore
+		}
+		*ins = Instruction{Kind: kind, NAddr: uint8(ph.fanout)}
+		if kind == GlobalStore {
+			// Results stream to a private output array; they never
+			// touch the reuse window.
+			for k := 0; k < ph.fanout; k++ {
+				line := uint64(s.warpID)<<24 + s.outCursor
+				s.outCursor++
+				ins.Addrs[k] = OutputBase + memory.Addr(line*memory.LineSize)
+			}
+			return
+		}
+		for k := 0; k < ph.fanout; k++ {
+			ins.Addrs[k] = s.nextAddress(ph)
+		}
+		return
+	}
+	*ins = Instruction{Kind: Compute}
 }
 
 // nextAddress picks one line: a window re-reference (locality), an
 // irregular jump (index-array), or a one-touch streaming line.
-func (s *WarpStream) nextAddress(ph Phase) memory.Addr {
-	irrPct := ph.IrregularPct
-	winPct := ph.WindowPct
-	if s.heavy {
-		// Heavy warps are the high-locality ones: more window
-		// re-references, less irregularity.
-		irrPct /= 4
-		winPct += 20
-		if winPct > 85 {
-			winPct = 85
-		}
-	}
+func (s *WarpStream) nextAddress(ph *phaseRT) memory.Addr {
 	roll := s.rnd.pct()
 	switch {
-	case roll < irrPct:
+	case roll < ph.irrPct:
 		// Index-array style access anywhere in the input.
 		line := uint64(s.rnd.intn(int(s.inputLines)))
 		return GlobalBase + memory.Addr(line*memory.LineSize)
-	case roll < irrPct+winPct:
+	case roll < ph.irrPct+ph.winPct:
 		return s.windowAddress(ph)
 	default:
 		// One-touch stream through the region, beyond the window area.
-		win := s.window(ph)
-		span := s.regionLines - win
-		if span == 0 {
-			span = 1
-		}
-		line := (win + s.streamCursor%span) % s.regionLines
+		line := (ph.win + s.streamCursor%ph.span) % s.regionLines
 		s.streamCursor++
 		return s.regionBase + memory.Addr(line*memory.LineSize)
 	}
@@ -249,22 +286,14 @@ func (s *WarpStream) nextAddress(ph Phase) memory.Addr {
 // windowAddress walks the window cyclically, sliding one line every
 // win×reuse touches so cold misses stay rare while the phase's
 // locality structure persists.
-func (s *WarpStream) windowAddress(ph Phase) memory.Addr {
-	win := s.window(ph)
-	line := (s.windowStart + uint64(s.windowPos)%win) % s.regionLines
+func (s *WarpStream) windowAddress(ph *phaseRT) memory.Addr {
+	line := (s.windowStart + uint64(s.windowPos)%ph.win) % s.regionLines
 	s.windowPos++
-	if uint64(s.windowPos) >= win {
+	if uint64(s.windowPos) >= ph.win {
 		s.windowPos = 0
 	}
 	s.windowTouch++
-	reuse := ph.Reuse
-	if reuse <= 0 {
-		reuse = 1
-	}
-	if s.heavy {
-		reuse *= HeavyReuseScale
-	}
-	if s.windowTouch >= int(win)*reuse {
+	if s.windowTouch >= ph.slideAt {
 		s.windowTouch = 0
 		s.windowStart = (s.windowStart + 1) % s.regionLines
 	}
