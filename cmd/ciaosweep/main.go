@@ -5,6 +5,14 @@
 // worker-pool engine as ciaoserve, and every outcome appends to an
 // on-disk NDJSON store.
 //
+// A spec with a "search" clause (see
+// examples/sweep-synthetic-halving.json) runs a successive-halving
+// refinement instead of a fixed grid: numeric parameters declare
+// ranges, each round samples a coarse grid, keeps the top-k scoring
+// points and halves the region around each. Rounds execute through the
+// same store, so a killed search resumes exactly where it stopped; the
+// final summary ranks the winning configurations.
+//
 // The store is what makes sweeps durable: kill the process at any
 // point and re-run with -resume to execute only the remaining cells.
 // Shards split one sweep across processes: -shard 0/2 and -shard 1/2
@@ -188,6 +196,11 @@ func run(specPath, dir string, resume bool, workers, entries int, shard string, 
 	if err != nil {
 		return err
 	}
+	if spec.Search != nil && shardN > 1 {
+		// Hand-sharding cuts against one fixed expansion; a search grows
+		// its cell set round by round. Use distributed workers instead.
+		return errors.New("-shard does not apply to search sweeps (use \"distributed\": true with -worker processes)")
+	}
 	if dir == "" {
 		dir = filepath.Join("sweeps", spec.Name)
 	}
@@ -203,21 +216,41 @@ func run(specPath, dir string, resume bool, workers, entries int, shard string, 
 	defer stop()
 
 	var lastPrint time.Time
-	runner := &sweep.Runner{
-		Engine:  engine,
-		Store:   store,
-		Indexes: sweep.ShardIndexes(len(cells), shardIdx, shardN),
-		OnProgress: func(p sweep.Progress) {
-			if every <= 0 || time.Since(lastPrint) < every {
-				return
-			}
-			lastPrint = time.Now()
-			log.Printf("%d/%d done (%d skipped, %d failed) geomean-ipc=%.4f",
-				p.Done, p.Total, p.Skipped, p.Failed, p.GeoMeanIPC)
-		},
+	progress := func(p sweep.Progress) {
+		if every <= 0 || time.Since(lastPrint) < every {
+			return
+		}
+		lastPrint = time.Now()
+		if p.Rounds > 0 {
+			log.Printf("round %d/%d: %d/%d done (%d skipped, %d failed) geomean-ipc=%.4f",
+				p.Round, p.Rounds, p.Done, p.Total, p.Skipped, p.Failed, p.GeoMeanIPC)
+			return
+		}
+		log.Printf("%d/%d done (%d skipped, %d failed) geomean-ipc=%.4f",
+			p.Done, p.Total, p.Skipped, p.Failed, p.GeoMeanIPC)
 	}
 	start := time.Now()
-	final, err := runner.Run(ctx, cells)
+	var final sweep.Progress
+	if spec.Search != nil {
+		final, err = sweep.RunSearch(ctx, spec, store, func(ctx context.Context, plan *sweep.SearchPlan) (sweep.Progress, error) {
+			log.Printf("search round %d/%d: %d point(s), %d new cell(s)",
+				plan.Round+1, plan.Rounds, plan.Points, len(plan.NewCells))
+			runner := &sweep.Runner{
+				Engine:     engine,
+				Store:      store,
+				OnProgress: plan.Decorate(progress),
+			}
+			return runner.Run(ctx, plan.NewCells)
+		})
+	} else {
+		runner := &sweep.Runner{
+			Engine:     engine,
+			Store:      store,
+			Indexes:    sweep.ShardIndexes(len(cells), shardIdx, shardN),
+			OnProgress: progress,
+		}
+		final, err = runner.Run(ctx, cells)
+	}
 	if err != nil {
 		return err
 	}

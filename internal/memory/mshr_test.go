@@ -125,3 +125,81 @@ func TestMSHRInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: interleaved allocates and fills keep the open-addressed
+// probe table consistent — backward-shift deletion must never strand a
+// colliding entry behind a vacated slot.
+func TestMSHRChurnInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMSHR(16, 4)
+		want := map[Addr][]int{}
+		for i, op := range ops {
+			// Squeeze lines into 32 values so collisions and probe
+			// chains are common in the 32-slot table.
+			a := Addr(op%32) * LineSize
+			if op&0x8000 != 0 {
+				e := m.Fill(a)
+				if _, live := want[a]; live {
+					if e == nil || e.Line != a || len(e.Merged) != len(want[a]) {
+						return false
+					}
+					delete(want, a)
+				} else if e != nil {
+					return false
+				}
+				continue
+			}
+			if !m.CanAllocate(a) {
+				continue
+			}
+			m.Allocate(Request{Addr: a, WarpID: i})
+			want[a] = append(want[a], i)
+		}
+		if m.Outstanding() != len(want) {
+			return false
+		}
+		for a, ids := range want {
+			e := m.Lookup(a)
+			if e == nil || len(e.Merged) != len(ids) {
+				return false
+			}
+			for j, id := range ids {
+				if e.Merged[j].WarpID != id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRResetRecyclesTable(t *testing.T) {
+	m := NewMSHR(8, 2)
+	for i := 0; i < 8; i++ {
+		m.Allocate(Request{Addr: Addr(i) * LineSize, WarpID: i})
+	}
+	m.Reset()
+	if m.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after Reset", m.Outstanding())
+	}
+	if a, _, _ := m.Stats(); a != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	// The full pool is available again and lookups find nothing stale.
+	for i := 0; i < 8; i++ {
+		a := Addr(i) * LineSize
+		if m.Lookup(a) != nil {
+			t.Fatalf("stale entry for %#x after Reset", a)
+		}
+		if !m.CanAllocate(a) {
+			t.Fatalf("cannot allocate %#x after Reset", a)
+		}
+		m.Allocate(Request{Addr: a, WarpID: i})
+	}
+	if m.Outstanding() != 8 {
+		t.Fatalf("Outstanding = %d, want 8", m.Outstanding())
+	}
+}

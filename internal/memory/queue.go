@@ -24,17 +24,20 @@ type Event struct {
 // the property the SM fill path relies on for deterministic replay —
 // two fills ready on the same cycle always retire in issue order.
 //
-// The queue is a ring buffer with a cached minimum ReadyCycle, so the
-// common quiescent case ("is anything ready yet?") is answered in O(1)
-// via NextReady without scanning: an idle queue costs the cycle loop
-// one comparison per cycle.
+// The queue is a ring buffer with a cached ReadyCycle lower bound, so
+// the common quiescent case ("is anything ready yet?") is answered in
+// O(1) via NextReady without scanning: an idle queue costs the cycle
+// loop one comparison per cycle. The bound is maintained lazily:
+// removals never rescan (a removal cannot lower the true minimum, so
+// the bound stays valid, merely stale-low), and the first unsuccessful
+// ready-scan repairs it exactly for free.
 type LatencyQueue struct {
 	name     string
 	capacity int
 	buf      []Event // ring storage
 	head     int     // index of the oldest event
 	n        int     // live event count
-	minReady uint64  // min ReadyCycle over live events; valid when n > 0
+	minReady uint64  // lower bound on min ReadyCycle; valid when n > 0
 	pushes   uint64
 	fullHits uint64
 }
@@ -102,34 +105,24 @@ func (q *LatencyQueue) Push(ev Event) bool {
 	return true
 }
 
-// NextReady returns the earliest ReadyCycle among queued events in
-// O(1), letting the cycle loop skip a quiescent queue entirely: no
-// event is consumable before the returned cycle. ok is false when the
-// queue is empty.
+// NextReady returns a lower bound on the earliest ReadyCycle among
+// queued events in O(1), letting the cycle loop skip a quiescent queue
+// entirely: no event is consumable before the returned cycle. The
+// bound may be stale-low after removals; consumers that pop until
+// failure (the SM fill path) pay at most one extra scan, which itself
+// restores exactness. ok is false when the queue is empty.
 func (q *LatencyQueue) NextReady() (cycle uint64, ok bool) {
 	return q.minReady, q.n > 0
 }
 
-// recomputeMin rescans the live events for the new minimum ReadyCycle.
-// Called after a removal; O(n), but removals are fill retirements which
-// are far rarer than the per-cycle NextReady probes they enable.
-func (q *LatencyQueue) recomputeMin() {
-	if q.n == 0 {
-		q.minReady = 0
-		return
-	}
-	min := q.buf[q.head].ReadyCycle
-	for pos := 1; pos < q.n; pos++ {
-		if rc := q.buf[q.idx(pos)].ReadyCycle; rc < min {
-			min = rc
-		}
-	}
-	q.minReady = min
-}
-
 // removeAt deletes the event at logical position pos, preserving FIFO
 // order by shifting the head side forward (ready events cluster near
-// the head, so the shift distance is typically short).
+// the head, so the shift distance is typically short). The cached
+// bound is deliberately not recomputed: removing an event can only
+// raise the true minimum, so the bound stays a valid lower bound, and
+// the next unsuccessful ready-scan repairs it at no extra cost. This
+// makes retiring k fills O(k + n) amortised instead of the O(k·n) the
+// old eager recompute paid.
 func (q *LatencyQueue) removeAt(pos int) Event {
 	i := q.idx(pos)
 	ev := q.buf[i]
@@ -139,38 +132,49 @@ func (q *LatencyQueue) removeAt(pos int) Event {
 	q.buf[q.head] = Event{}
 	q.head = q.idx(1)
 	q.n--
-	if ev.ReadyCycle == q.minReady {
-		q.recomputeMin()
-	}
 	return ev
 }
 
 // PopReady dequeues and returns the oldest event whose ReadyCycle has
 // arrived, or ok=false when none is ready. FIFO order is preserved
 // among ready events. The nothing-ready case is O(1) via the cached
-// minimum.
+// bound once it is exact; an unsuccessful scan has seen every live
+// event, so it re-establishes the exact minimum as a side effect.
 func (q *LatencyQueue) PopReady(now uint64) (ev Event, ok bool) {
 	if q.n == 0 || q.minReady > now {
 		return Event{}, false
 	}
+	min := ^uint64(0)
 	for pos := 0; pos < q.n; pos++ {
-		if q.buf[q.idx(pos)].ReadyCycle <= now {
+		rc := q.buf[q.idx(pos)].ReadyCycle
+		if rc <= now {
 			return q.removeAt(pos), true
 		}
+		if rc < min {
+			min = rc
+		}
 	}
+	q.minReady = min
 	return Event{}, false
 }
 
-// PeekReady returns (without removing) the oldest ready event.
+// PeekReady returns (without removing) the oldest ready event. Like
+// PopReady, a miss repairs the cached bound exactly.
 func (q *LatencyQueue) PeekReady(now uint64) (ev Event, ok bool) {
 	if q.n == 0 || q.minReady > now {
 		return Event{}, false
 	}
+	min := ^uint64(0)
 	for pos := 0; pos < q.n; pos++ {
-		if e := q.buf[q.idx(pos)]; e.ReadyCycle <= now {
+		e := q.buf[q.idx(pos)]
+		if e.ReadyCycle <= now {
 			return e, true
 		}
+		if e.ReadyCycle < min {
+			min = e.ReadyCycle
+		}
 	}
+	q.minReady = min
 	return Event{}, false
 }
 

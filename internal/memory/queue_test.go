@@ -116,16 +116,54 @@ func TestLatencyQueueNextReady(t *testing.T) {
 	if rc, ok := q.NextReady(); !ok || rc != 10 {
 		t.Fatalf("NextReady = %d,%v, want 10,true", rc, ok)
 	}
-	// Popping the minimum event recomputes the cached minimum.
+	// Popping the minimum event leaves the cached bound stale-low: it
+	// must stay a valid lower bound (nothing consumable before it), but
+	// it is not recomputed eagerly.
 	if ev, ok := q.PopReady(15); !ok || ev.Line != 0x200 {
 		t.Fatalf("PopReady(15) = %+v,%v, want line 0x200", ev, ok)
 	}
-	if rc, ok := q.NextReady(); !ok || rc != 20 {
-		t.Fatalf("after pop, NextReady = %d,%v, want 20,true", rc, ok)
+	if rc, ok := q.NextReady(); !ok || rc > 20 {
+		t.Fatalf("after pop, NextReady = %d,%v, want a lower bound <= 20", rc, ok)
 	}
-	// Nothing is consumable before the advertised cycle.
+	// Nothing is consumable before the true minimum, and the failed
+	// scan repairs the bound exactly.
 	if _, ok := q.PopReady(19); ok {
-		t.Fatal("PopReady before NextReady succeeded")
+		t.Fatal("PopReady before the true minimum succeeded")
+	}
+	if rc, ok := q.NextReady(); !ok || rc != 20 {
+		t.Fatalf("after failed pop, NextReady = %d,%v, want exact 20,true", rc, ok)
+	}
+}
+
+func TestLatencyQueueLazyMinRepair(t *testing.T) {
+	q := NewLatencyQueue("t", 0)
+	q.Push(Event{Line: 0x100, ReadyCycle: 5})
+	q.Push(Event{Line: 0x200, ReadyCycle: 40})
+	q.Push(Event{Line: 0x300, ReadyCycle: 30})
+
+	// Remove (the CIAO migration path) also leaves the bound lazy.
+	if ev := q.Remove(0); ev.Line != 0x100 {
+		t.Fatalf("Remove(0) = %+v, want line 0x100", ev)
+	}
+	if rc, ok := q.NextReady(); !ok || rc > 30 {
+		t.Fatalf("after remove, NextReady = %d,%v, want bound <= 30", rc, ok)
+	}
+	// A missed peek sees every event and restores exactness too.
+	if _, ok := q.PeekReady(29); ok {
+		t.Fatal("PeekReady(29) found an event before the true minimum")
+	}
+	if rc, ok := q.NextReady(); !ok || rc != 30 {
+		t.Fatalf("after failed peek, NextReady = %d,%v, want exact 30,true", rc, ok)
+	}
+	// The repaired bound serves pops correctly.
+	if ev, ok := q.PopReady(30); !ok || ev.Line != 0x300 {
+		t.Fatalf("PopReady(30) = %+v,%v, want line 0x300", ev, ok)
+	}
+	if ev, ok := q.PopReady(40); !ok || ev.Line != 0x200 {
+		t.Fatalf("PopReady(40) = %+v,%v, want line 0x200", ev, ok)
+	}
+	if _, ok := q.NextReady(); ok {
+		t.Fatal("empty queue reported a ready cycle")
 	}
 }
 

@@ -63,6 +63,46 @@ func TestDeterministicCellResult(t *testing.T) {
 	}
 }
 
+// TestSyntheticCellDeterminism: a synthetic descriptor is as
+// cacheable as a Table II kernel — same descriptor ⇒ byte-identical
+// CellResult JSON, and descriptor spellings share one content address
+// while materially different descriptors do not.
+func TestSyntheticCellDeterminism(t *testing.T) {
+	spec := Spec{Experiment: ExpRun,
+		Bench: "synthetic:class=SWS,apki=90,window=24,reuse=6,div_pct=20,seed=11",
+		Sched: "CIAO-C", Options: OptionSpec{InstrPerWarp: 800}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("synthetic cell runs differ:\n%s\n%s", first, second)
+	}
+
+	respelled := spec
+	respelled.Bench = "synthetic:seed=11,div_pct=20,reuse=6,window=24,apki=90,class=SWS"
+	if spec.Key() != respelled.Key() {
+		t.Error("descriptor spellings of the same workload got different keys")
+	}
+	other := spec
+	other.Bench = "synthetic:class=SWS,apki=90,window=24,reuse=6,div_pct=20,seed=12"
+	if spec.Key() == other.Key() {
+		t.Error("different synthetic seeds share a key")
+	}
+	bad := spec
+	bad.Bench = "synthetic:apki=0"
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid descriptor accepted by Validate")
+	}
+}
+
 // TestConfigOverrideAddressing: overrides are part of the cell's
 // content address (different machine, different key), while a
 // present-but-empty override is the baseline machine (same key).

@@ -145,6 +145,15 @@ func (s Spec) Key() string {
 }
 
 func (s Spec) canonical() Spec {
+	// Synthetic benchmarks canonicalise their descriptor (full key set,
+	// fixed order), so every spelling of the same generated workload
+	// shares one content address. Unparseable names pass through: they
+	// fail Validate anyway, and Key must stay total.
+	if workload.IsSynthetic(s.Bench) {
+		if cn, err := workload.CanonicalSynthetic(s.Bench); err == nil {
+			s.Bench = cn
+		}
+	}
 	switch s.Experiment {
 	case ExpRun:
 		s.Schedulers = nil

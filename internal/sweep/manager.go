@@ -263,9 +263,14 @@ func (m *Manager) Start(spec Spec) (*Run, error) {
 		}()
 		var final Progress
 		var err error
-		if spec.Distributed {
+		switch {
+		case spec.Search != nil:
+			// Searches — local or distributed — run the round loop; the
+			// round runner picks the execution path per round.
+			final, err = RunSearch(ctx, spec, store, m.searchRoundRunner(run, spec, store))
+		case spec.Distributed:
 			final, err = m.runDistributed(ctx, run, spec, cells, store)
-		} else {
+		default:
 			runner := &Runner{
 				Engine:      m.engine,
 				Store:       store,
@@ -319,6 +324,36 @@ func (m *Manager) runDistributed(ctx context.Context, run *Run, spec Spec, cells
 		return Progress{State: StateFailed, Total: len(cells)}, err
 	}
 	return m.waitDistributed(ctx, d)
+}
+
+// searchRoundRunner builds the RoundRunner a managed halving search
+// executes its rounds through: the in-process Runner normally, or one
+// coordinator round over the round's self-contained plain spec when
+// the search spec says distributed. Each distributed round registers
+// under its own "<base>.r<round>.<attempt>" id — the hub's
+// register/unregister lifecycle is strictly one id per coordinator, so
+// rounds must not reuse the base sweep id.
+func (m *Manager) searchRoundRunner(run *Run, spec Spec, store *Store) RoundRunner {
+	sink := m.progressSink(run)
+	attempt := 0
+	return func(ctx context.Context, plan *SearchPlan) (Progress, error) {
+		if !spec.Distributed {
+			runner := &Runner{
+				Engine:      m.engine,
+				Store:       store,
+				Parallelism: m.parallelism,
+				OnProgress:  plan.Decorate(sink),
+			}
+			return runner.Run(ctx, plan.NewCells)
+		}
+		attempt++
+		id := fmt.Sprintf("%s.r%d.%d", baseSearchID(run.ID()), plan.Round, attempt)
+		d, err := m.dist.Distribute(id, plan.RoundSpec, plan.NewCells, store, plan.Decorate(sink))
+		if err != nil {
+			return Progress{State: StateFailed, Total: len(plan.NewCells)}, err
+		}
+		return m.waitDistributed(ctx, d)
+	}
 }
 
 // waitDistributed blocks until a distributed run reaches a terminal
@@ -381,10 +416,27 @@ func (m *Manager) Recover() (recovered int, err error) {
 
 // recoverDir resumes one sweep directory, reporting false when its
 // journal shows a finished sweep (or its spec is already running).
+// Search sweeps get a second chance past the journal gate: a crash
+// *between* distributed rounds leaves a finished journal behind while
+// the search itself still has rounds to run, which only the manifest
+// (and the settled results) can reveal.
 func (m *Manager) recoverDir(rec Recoverer, dir string) (bool, error) {
 	need, err := rec.NeedsRecovery(dir)
-	if err != nil || !need {
+	if err != nil {
 		return false, err
+	}
+	man, merr := readManifest(dir)
+	if merr != nil {
+		if need {
+			return false, merr
+		}
+		return false, nil
+	}
+	if man.Spec.Search != nil {
+		return m.resumeSearchDir(man, dir, rec.Recover, need)
+	}
+	if !need {
+		return false, nil
 	}
 	return m.resumeDir(dir, rec.Recover)
 }
@@ -452,6 +504,12 @@ func (m *Manager) resumeDir(dir string, resume func(Spec, []Cell, *Store, func(P
 	if err != nil {
 		return false, err
 	}
+	if man.Spec.Search != nil {
+		// Adoption reaches here directly; a search sweep's journal holds
+		// one *round*, not the sweep, so it resumes through the search
+		// path.
+		return m.resumeSearchDir(man, dir, resume, true)
+	}
 	spec := man.Spec
 	cells, err := spec.Expand()
 	if err != nil {
@@ -515,6 +573,127 @@ func (m *Manager) resumeDir(dir string, resume func(Spec, []Cell, *Store, func(P
 			m.mu.Unlock()
 		}()
 		final, werr := m.waitDistributed(ctx, d)
+		if werr != nil && final.Error == "" {
+			final.Error = werr.Error()
+		}
+		run.mu.Lock()
+		run.prog = final
+		run.mu.Unlock()
+	}()
+	return true, nil
+}
+
+// resumeSearchDir rebuilds an interrupted halving-search sweep. The
+// manifest pins the search spec, and the next round is a pure function
+// of the spec plus the store's settled results, so the resumed run
+// re-derives exactly the frontier the crash interrupted. journalLive
+// says the directory holds an unfinished coordinator journal: that
+// round is resumed through resume (the distributor's Recover or Adopt)
+// first — surviving workers keep their leases — and the remaining
+// rounds then run through the ordinary search loop.
+func (m *Manager) resumeSearchDir(man Manifest, dir string, resume func(Spec, []Cell, *Store, func(Progress)) (DistributedRun, string, error), journalLive bool) (bool, error) {
+	spec := man.Spec
+	if man.SearchDone && !journalLive {
+		return false, nil // finished search; nothing to serve
+	}
+	key := spec.Key()
+	m.mu.Lock()
+	if _, busy := m.active[key]; busy {
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.starting[key] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.starting, key)
+		m.mu.Unlock()
+	}()
+
+	store, err := Open(dir, spec)
+	if err != nil {
+		return false, err
+	}
+	store.SetOptions(m.storeOpts)
+	store.SetCounters(&m.storeCounters)
+	plan, err := spec.DeriveSearch(store.Completed(), store.FailedCells())
+	if err != nil {
+		store.Close()
+		return false, err
+	}
+	if plan.Finished && !journalLive {
+		// The search had settled before the crash; only the manifest
+		// stamp was lost. Restore it so the next startup skips the
+		// directory without opening the store.
+		err := store.MarkSearchDone()
+		store.Close()
+		return false, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run := &Run{
+		spec:    spec,
+		store:   store,
+		created: man.Created,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		prog: Progress{
+			State: StateRunning, Total: plan.Issued,
+			Done: plan.PriorDone, Failed: plan.PriorFailed,
+			Round: plan.Round + 1, Rounds: plan.Rounds,
+		},
+	}
+	var first DistributedRun
+	id := ""
+	if journalLive {
+		first, id, err = resume(plan.RoundSpec, plan.NewCells, store, plan.Decorate(m.progressSink(run)))
+		if err != nil {
+			store.Close()
+			cancel()
+			return false, err
+		}
+	}
+	if id != "" {
+		// The journal names one *round* (<base>.rN.<attempt>); the
+		// run's public handle is the search itself, so a client's
+		// pre-crash id keeps resolving after recovery.
+		id = baseSearchID(id)
+	} else {
+		// No live journaled round to inherit an id from (none, or it was
+		// already terminal): mint a fresh one.
+		m.mu.Lock()
+		m.seq++
+		id = fmt.Sprintf("sweep-%d-%s", m.seq, key[:12])
+		m.mu.Unlock()
+	}
+	run.id = id
+	m.observeStore(id, store)
+
+	m.mu.Lock()
+	m.runs[id] = run
+	m.order = append(m.order, id)
+	m.active[key] = run
+	m.bumpSeqLocked(id)
+	m.pruneRunsLocked()
+	m.mu.Unlock()
+
+	go func() {
+		defer close(run.done)
+		defer store.Close()
+		defer func() {
+			m.mu.Lock()
+			delete(m.active, key)
+			m.mu.Unlock()
+		}()
+		var final Progress
+		var werr error
+		if first != nil {
+			final, werr = m.waitDistributed(ctx, first)
+			final = plan.fold(final)
+		}
+		if werr == nil && (first == nil || final.State == StateDone) {
+			final, werr = RunSearch(ctx, spec, store, m.searchRoundRunner(run, spec, store))
+		}
 		if werr != nil && final.Error == "" {
 			final.Error = werr.Error()
 		}

@@ -48,6 +48,15 @@ type Progress struct {
 	// sweep is waiting for a matching worker to join, not progressing.
 	Starved int    `json:"starved,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Round/Rounds track a halving search's refinement progress
+	// (1-based; zero on plain sweeps). Total then counts every cell
+	// issued through the current round, not the final total — later
+	// rounds grow it.
+	Round  int `json:"round,omitempty"`
+	Rounds int `json:"rounds,omitempty"`
+	// Winners ranks the search's final top-k configuration points, set
+	// once the search finishes.
+	Winners []PointScore `json:"winners,omitempty"`
 }
 
 // Runner executes a sweep's cells through a service engine, appending

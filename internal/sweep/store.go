@@ -37,8 +37,15 @@ type Manifest struct {
 	Spec    Spec      `json:"spec"`
 	SpecKey string    `json:"spec_key"`
 	Created time.Time `json:"created"`
-	// TotalCells is the expansion size at creation time.
+	// TotalCells is the expansion size at creation time. For a search
+	// sweep this is the round-0 grid; SearchRounds tracks growth.
 	TotalCells int `json:"total_cells"`
+	// SearchRounds journals the derived rounds of a halving search, in
+	// order — the durable audit trail of how the sweep's cell set grew.
+	SearchRounds []RoundMark `json:"search_rounds,omitempty"`
+	// SearchDone is stamped once every search round has settled, so
+	// startup recovery can skip the directory without opening the store.
+	SearchDone bool `json:"search_done,omitempty"`
 }
 
 // CellRecord is one NDJSON line of the results file: the cell's
@@ -617,7 +624,65 @@ func (s *Store) Completed() map[string]float64 {
 }
 
 // Manifest returns the pinned manifest.
-func (s *Store) Manifest() Manifest { return s.manifest }
+func (s *Store) Manifest() Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manifest
+}
+
+// MarkSearchRound journals one derived search round into the manifest
+// (atomic rewrite). A mark for an already-journaled round replaces it
+// — a resumed search re-derives the interrupted round and re-marks it
+// with identical content, so the rewrite is skipped when nothing
+// changed.
+func (s *Store) MarkSearchRound(rm RoundMark) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replaced := false
+	for i, old := range s.manifest.SearchRounds {
+		if old.Round == rm.Round {
+			if old == rm {
+				return nil
+			}
+			s.manifest.SearchRounds[i] = rm
+			// Later rounds were derived from results this round now
+			// supersedes; drop them so the journal stays a prefix of
+			// the actual progression.
+			s.manifest.SearchRounds = s.manifest.SearchRounds[:i+1]
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.manifest.SearchRounds = append(s.manifest.SearchRounds, rm)
+	}
+	return s.rewriteManifestLocked()
+}
+
+// MarkSearchDone stamps the manifest once a halving search has fully
+// settled. Idempotent.
+func (s *Store) MarkSearchDone() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.manifest.SearchDone {
+		return nil
+	}
+	s.manifest.SearchDone = true
+	return s.rewriteManifestLocked()
+}
+
+// rewriteManifestLocked atomically rewrites the manifest file from the
+// in-memory copy. Callers hold s.mu.
+func (s *Store) rewriteManifestLocked() error {
+	b, err := json.MarshalIndent(s.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(s.dir, ManifestFile), append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: rewrite manifest: %w", err)
+	}
+	return nil
+}
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }

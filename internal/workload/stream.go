@@ -39,6 +39,7 @@ type phaseRT struct {
 	memProb int    // global-access probability, per mille
 	irrPct  int    // irregular-jump share of addresses, per cent
 	winPct  int    // window re-reference share of addresses, per cent
+	divPct  int    // fully-diverged share of memory instructions, per cent
 	fanout  int    // addresses per memory instruction
 	win     uint64 // effective window size in lines
 	span    uint64 // streaming span beyond the window, >= 1
@@ -147,7 +148,8 @@ func (s *WarpStream) Done() bool { return s.issued >= s.spec.InstrPerWarp }
 // generation path computed per call; only the evaluation point moves.
 func (s *WarpStream) compilePhase(ph Phase, bound uint64) phaseRT {
 	rt := phaseRT{bound: bound, memProb: ph.MemProbPerMille(),
-		irrPct: ph.IrregularPct, winPct: ph.WindowPct, fanout: ph.Fanout}
+		irrPct: ph.IrregularPct, winPct: ph.WindowPct,
+		divPct: ph.DivergentPct, fanout: ph.Fanout}
 	if rt.fanout <= 0 {
 		rt.fanout = 1
 	}
@@ -245,18 +247,25 @@ func (s *WarpStream) gen(ins *Instruction) {
 		if s.spec.StorePct > 0 && s.rnd.pct() < s.spec.StorePct {
 			kind = GlobalStore
 		}
-		*ins = Instruction{Kind: kind, NAddr: uint8(ph.fanout)}
+		fan := ph.fanout
+		// Divergence bursts: a diverged memory instruction touches the
+		// maximum line count. The roll is gated on divPct > 0 so specs
+		// without the knob consume exactly the pre-knob RNG sequence.
+		if ph.divPct > 0 && s.rnd.pct() < ph.divPct {
+			fan = MaxFanout
+		}
+		*ins = Instruction{Kind: kind, NAddr: uint8(fan)}
 		if kind == GlobalStore {
 			// Results stream to a private output array; they never
 			// touch the reuse window.
-			for k := 0; k < ph.fanout; k++ {
+			for k := 0; k < fan; k++ {
 				line := uint64(s.warpID)<<24 + s.outCursor
 				s.outCursor++
 				ins.Addrs[k] = OutputBase + memory.Addr(line*memory.LineSize)
 			}
 			return
 		}
-		for k := 0; k < ph.fanout; k++ {
+		for k := 0; k < fan; k++ {
 			ins.Addrs[k] = s.nextAddress(ph)
 		}
 		return

@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
 
 // Default simulation scale. Experiments override InstrPerWarp for
 // longer runs; the default keeps unit tests fast while still letting
@@ -17,15 +21,10 @@ const (
 	DefaultSeed = 0x5EED_C1A0
 )
 
-// Suite returns specs for all 21 benchmarks of Table II with their
-// published APKI, input size, Best-SWL warp count, shared-memory
-// fraction, barrier behaviour and class. Pattern parameters
-// (window/reuse/irregularity/sharing) are the synthetic-model knobs
-// chosen per class, with per-benchmark adjustments where the paper
-// describes distinctive behaviour (ATAX's two phases, Backprop's
-// high-locality interfering warp groups, KMN's shared-memory-thrashing
-// redirection).
-func Suite() []Spec {
+// buildSuite constructs the 21 Table II specs. It runs exactly once
+// (see cachedSuite); all public accessors hand out defensive copies of
+// the memoized result.
+func buildSuite() []Spec {
 	mk := func(name string, class Class, apki, inputBytes, nwrp int, fsmem float64, barriers bool) Spec {
 		s := Spec{
 			Name:          name,
@@ -123,12 +122,57 @@ func Suite() []Spec {
 	return specs
 }
 
-// ByName returns the suite spec with the given name.
-func ByName(name string) (Spec, error) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, nil
+// The suite is immutable after construction, so it is built once and
+// shared. Sweep expansion calls ByName per cell (O(n·m) rebuilds
+// before memoization); the index map makes each lookup O(1).
+var (
+	cachedSuite = sync.OnceValue(buildSuite)
+	suiteIndex  = sync.OnceValue(func() map[string]int {
+		idx := make(map[string]int, len(cachedSuite()))
+		for i, s := range cachedSuite() {
+			idx[s.Name] = i
 		}
+		return idx
+	})
+)
+
+// copySpec returns a mutation-safe copy: Phases is the only reference
+// field of Spec.
+func copySpec(s Spec) Spec {
+	s.Phases = slices.Clone(s.Phases)
+	return s
+}
+
+// Suite returns specs for all 21 benchmarks of Table II with their
+// published APKI, input size, Best-SWL warp count, shared-memory
+// fraction, barrier behaviour and class. Pattern parameters
+// (window/reuse/irregularity/sharing) are the synthetic-model knobs
+// chosen per class, with per-benchmark adjustments where the paper
+// describes distinctive behaviour (ATAX's two phases, Backprop's
+// high-locality interfering warp groups, KMN's shared-memory-thrashing
+// redirection). Callers own the returned slice and may mutate it.
+func Suite() []Spec {
+	src := cachedSuite()
+	out := make([]Spec, len(src))
+	for i, s := range src {
+		out[i] = copySpec(s)
+	}
+	return out
+}
+
+// ByName returns the spec with the given name: a Table II benchmark,
+// or a "synthetic:" descriptor parsed into a generated spec (see
+// ParseSynthetic).
+func ByName(name string) (Spec, error) {
+	if IsSynthetic(name) {
+		d, err := ParseSynthetic(name)
+		if err != nil {
+			return Spec{}, err
+		}
+		return d.Spec(), nil
+	}
+	if i, ok := suiteIndex()[name]; ok {
+		return copySpec(cachedSuite()[i]), nil
 	}
 	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
 }
@@ -137,9 +181,9 @@ func ByName(name string) (Spec, error) {
 // and 12 sweep.
 func MemoryIntensive() []Spec {
 	var out []Spec
-	for _, s := range Suite() {
+	for _, s := range cachedSuite() {
 		if s.Class == LWS || s.Class == SWS {
-			out = append(out, s)
+			out = append(out, copySpec(s))
 		}
 	}
 	return out
@@ -163,9 +207,9 @@ func SensitivitySet() []Spec {
 // ByClass filters the suite.
 func ByClass(c Class) []Spec {
 	var out []Spec
-	for _, s := range Suite() {
+	for _, s := range cachedSuite() {
 		if s.Class == c {
-			out = append(out, s)
+			out = append(out, copySpec(s))
 		}
 	}
 	return out

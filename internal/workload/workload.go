@@ -144,6 +144,12 @@ type Phase struct {
 	// IrregularPct is the percentage of addresses falling uniformly in
 	// the whole input (index-array irregularity).
 	IrregularPct int
+	// DivergentPct is the percentage of memory instructions that are
+	// fully diverged: they fan out to MaxFanout lines regardless of
+	// Fanout, modelling branch/memory divergence bursts. 0 (the
+	// default, and all Table II kernels) keeps the stream identical to
+	// the pre-knob generator.
+	DivergentPct int
 	// HeavyScale multiplies heavy warps' windows (default per class).
 	// It calibrates whether the heavy working set fits the
 	// shared-memory cache once isolated (SWS) or overwhelms it (LWS).
